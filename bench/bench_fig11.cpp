@@ -1,0 +1,43 @@
+// Figure 11: impact of the scheduling-algorithm design — Muri-L vs
+// Muri-L with the WORST stage ordering and Muri-L WITHOUT the
+// Blossom-based multi-round grouping (priority-order packing instead).
+// Paper: worst ordering degrades both metrics; no-Blossom costs up to
+// +14% avg JCT and +6% makespan.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace muri;
+using namespace muri::bench;
+
+int main() {
+  std::printf("Figure 11 — design ablations (values normalized to Muri-L; "
+              ">1 = worse than Muri-L)\n\n");
+  std::printf("%-8s | %-19s | %-19s\n", "trace", "worst ordering",
+              "w/o Blossom");
+  std::printf("%-8s | %9s %9s | %9s %9s\n", "", "JCT", "makespan", "JCT",
+              "makespan");
+  for (int id = 1; id <= 4; ++id) {
+    const Trace trace = standard_trace(id);
+    const auto results = run_all(
+        trace, {"Muri-L", "Muri-L-worstorder", "Muri-L-noblossom"},
+        default_sim_options(false));
+    const SimResult& base = results[0];
+    const SimResult& worst = results[1];
+    const SimResult& noblossom = results[2];
+    std::printf("%-8s | %9.3f %9.3f | %9.3f %9.3f\n", trace.name.c_str(),
+                worst.avg_jct / base.avg_jct, worst.makespan / base.makespan,
+                noblossom.avg_jct / base.avg_jct,
+                noblossom.makespan / base.makespan);
+  }
+  std::printf(
+      "\npaper: both ablations degrade both metrics; w/o Blossom costs up "
+      "to +14%% JCT and +6%% makespan.\n"
+      "note: the worst-ordering ablation reproduces strongly (up to +34%% "
+      "JCT here). Under our fluid\nexecution model the no-Blossom packing "
+      "is within ±10%% of Blossom — the eight zoo models span\na narrow "
+      "gamma range, so most 4-way combinations interleave almost equally "
+      "well and the\nmatching quality matters less than on the paper's "
+      "testbed (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 13: impact of the workload distribution — vary the number of job
+// types bottlenecked on different resources from 1 (all storage-bound) to
+// 4 (the full Table 3 mix). Paper: speedup ≈1 with one type, 1.42×/1.49×
+// with two, growing to 2.26× (vs SRTF) and 3.92× (vs Tiresias) with four.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace muri;
+using namespace muri::bench;
+
+int main() {
+  // One representative model per bottleneck class, added one at a time:
+  // storage -> +cpu -> +gpu -> +network.
+  const std::vector<std::vector<ModelKind>> mixes = {
+      {ModelKind::kShuffleNet, ModelKind::kResNet18},
+      {ModelKind::kShuffleNet, ModelKind::kResNet18, ModelKind::kA2c,
+       ModelKind::kDqn},
+      {ModelKind::kShuffleNet, ModelKind::kResNet18, ModelKind::kA2c,
+       ModelKind::kDqn, ModelKind::kGpt2, ModelKind::kBert},
+      {ModelKind::kShuffleNet, ModelKind::kResNet18, ModelKind::kA2c,
+       ModelKind::kDqn, ModelKind::kGpt2, ModelKind::kBert,
+       ModelKind::kVgg16, ModelKind::kVgg19},
+  };
+
+  std::printf("Figure 13 — speedup vs number of bottleneck job types\n\n");
+  std::printf("%-10s | %-18s | %-18s\n", "#types", "Muri-S vs SRTF",
+              "Muri-L vs Tiresias");
+  std::printf("%-10s | %8s %9s | %8s %9s\n", "", "JCT", "makespan", "JCT",
+              "makespan");
+  const Trace base = standard_trace(2);
+  for (size_t k = 0; k < mixes.size(); ++k) {
+    const Trace trace = restrict_models(base, mixes[k], 1000 + k);
+
+    const auto known =
+        run_all(trace, {"SRTF", "Muri-S"}, default_sim_options(true));
+    const auto unknown =
+        run_all(trace, {"Tiresias", "Muri-L"}, default_sim_options(false));
+    std::printf("%-10zu | %8.2f %9.2f | %8.2f %9.2f\n", k + 1,
+                known[0].avg_jct / known[1].avg_jct,
+                known[0].makespan / known[1].makespan,
+                unknown[0].avg_jct / unknown[1].avg_jct,
+                unknown[0].makespan / unknown[1].makespan);
+  }
+  std::printf("\npaper: ~1x at one type, 1.42x/1.49x at two, up to "
+              "2.26x/3.92x at four.\n");
+  return 0;
+}

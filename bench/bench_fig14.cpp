@@ -1,0 +1,42 @@
+// Figure 14: impact of inaccurate profiling. Profiling noise n_p scales
+// each measured stage duration by a uniform factor in [1-n_p, 1+n_p].
+// Paper: normalized avg JCT grows from 1× to ~1.3× as n_p goes 0 → 1
+// (under ~1% degradation at realistic n_p ≤ 0.2); makespan stays ~1×.
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace muri;
+using namespace muri::bench;
+
+int main() {
+  // Noise only matters where grouping happens, i.e. under contention, so
+  // we sweep on the (contended) testbed trace; the paper's lightly loaded
+  // trace explains its flat makespan, which the long-job critical path
+  // reproduces here as well.
+  const Trace trace = testbed_trace();
+
+  std::printf("Figure 14 — profiling-noise sensitivity (Muri-L, testbed "
+              "trace)\n\n");
+  std::printf("%6s %12s %14s\n", "noise", "norm JCT", "norm makespan");
+
+  double base_jct = 0, base_mk = 0;
+  for (double noise : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    SimOptions opt = default_sim_options(false);
+    opt.profiler.noise = noise;
+    // Per-job noise draws: disable the per-model cache so every profiling
+    // session re-rolls the factor (the paper perturbs each job).
+    opt.profiler.cache_by_model = noise == 0.0;
+    auto scheduler = make_scheduler("Muri-L");
+    const SimResult r = run_simulation(trace, *scheduler, opt);
+    if (noise == 0.0) {
+      base_jct = r.avg_jct;
+      base_mk = r.makespan;
+    }
+    std::printf("%6.1f %12.3f %14.3f\n", noise, r.avg_jct / base_jct,
+                r.makespan / base_mk);
+  }
+  std::printf("\npaper: JCT degrades to ~1.3x at n_p=1, <1%% at n_p<=0.2; "
+              "makespan flat.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 8: detailed testbed metrics — queue length, blocking index, and
+// IO/CPU/GPU utilization over time, for the duration-known schedulers
+// (SRTF, SRSF, Muri-S) and duration-unknown ones (Tiresias, Themis,
+// Muri-L). The paper plots full curves; we print a downsampled series per
+// scheduler plus the time-weighted averages the curves integrate to.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace muri;
+using namespace muri::bench;
+
+namespace {
+
+void print_series(const char* label,
+                  const std::vector<SeriesRecorder::Point>& points,
+                  int samples) {
+  std::printf("    %-10s", label);
+  if (points.empty()) {
+    std::printf(" (empty)\n");
+    return;
+  }
+  const size_t step = std::max<size_t>(1, points.size() / samples);
+  for (size_t i = 0; i < points.size(); i += step) {
+    std::printf(" %6.1f", points[i].value);
+  }
+  std::printf("\n");
+}
+
+void block(const char* title, const Trace& trace,
+           const std::vector<std::string>& names, bool known) {
+  SimOptions opt = default_sim_options(known);
+  opt.record_series = true;
+  std::printf("%s\n", title);
+  for (const std::string& name : names) {
+    auto scheduler = make_scheduler(name);
+    const SimResult r = run_simulation(trace, *scheduler, opt);
+    std::printf("  %s: avg queue=%.1f avg blocking=%.2f "
+                "avg util io/cpu/gpu/net = %.2f/%.2f/%.2f/%.2f\n",
+                r.scheduler_name.c_str(), r.avg_queue_length,
+                r.avg_blocking_index, r.avg_utilization[0],
+                r.avg_utilization[1], r.avg_utilization[2],
+                r.avg_utilization[3]);
+    print_series("queue", r.queue_series, 12);
+    print_series("blocking", r.blocking_series, 12);
+    print_series("io util", r.util_series[0], 12);
+    print_series("cpu util", r.util_series[1], 12);
+    print_series("gpu util", r.util_series[2], 12);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const Trace trace = testbed_trace();
+  std::printf("Figure 8 — detailed testbed metrics over time "
+              "(12 samples per curve)\n\n");
+  block("(a) durations known", trace, {"SRTF", "SRSF", "Muri-S"}, true);
+  block("(b) durations unknown", trace, {"Tiresias", "Themis", "Muri-L"},
+        false);
+  std::printf("paper shape: Muri holds the shortest queues, the lowest "
+              "blocking index,\nand the highest resource utilization in "
+              "both regimes.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// §5 scalability claim: "the centralized scheduler can generate a
+// grouping plan for 1,000 jobs in a few seconds". Google-benchmark over
+// the multi-round Blossom grouping and its building blocks.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "interleave/efficiency.h"
+#include "job/model.h"
+#include "matching/blossom.h"
+#include "scheduler/muri.h"
+#include "sim/fluid.h"
+
+namespace muri {
+namespace {
+
+std::vector<ResourceVector> random_profiles(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ResourceVector> profiles;
+  profiles.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const ModelKind m = kAllModels[static_cast<size_t>(
+        rng.uniform_int(0, kNumModels - 1))];
+    profiles.push_back(model_profile(m, 1).stage_time);
+  }
+  return profiles;
+}
+
+void BM_PairwiseEfficiency(benchmark::State& state) {
+  const auto profiles = random_profiles(64, 7);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = profiles[i % profiles.size()];
+    const auto& b = profiles[(i * 31 + 7) % profiles.size()];
+    benchmark::DoNotOptimize(pairwise_efficiency(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_PairwiseEfficiency);
+
+void BM_PlanInterleave4(benchmark::State& state) {
+  const auto profiles = random_profiles(4, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(plan_interleave(profiles));
+  }
+}
+BENCHMARK(BM_PlanInterleave4);
+
+void BM_FluidRates4(benchmark::State& state) {
+  const auto profiles = random_profiles(4, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_min_fair_rates(profiles, 1.15));
+  }
+}
+BENCHMARK(BM_FluidRates4);
+
+void BM_BlossomMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto profiles = random_profiles(n, 17);
+  DenseGraph graph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      graph.set_weight(u, v,
+                       pairwise_efficiency(profiles[static_cast<size_t>(u)],
+                                           profiles[static_cast<size_t>(v)]));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_weight_matching(graph));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_BlossomMatching)->Arg(32)->Arg(64)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond)->Complexity();
+
+void BM_MultiRoundGrouping(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto profiles = random_profiles(n, 23);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(multi_round_grouping(profiles, 4));
+  }
+  state.SetComplexityN(n);
+}
+// The 1,000-job point backs the paper's "a few seconds" claim directly.
+BENCHMARK(BM_MultiRoundGrouping)->Arg(64)->Arg(128)->Arg(256)->Arg(512)
+    ->Arg(1000)->Unit(benchmark::kMillisecond)->Iterations(1)->Complexity();
+
+void BM_GreedyMatching(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto profiles = random_profiles(n, 29);
+  DenseGraph graph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      graph.set_weight(u, v,
+                       pairwise_efficiency(profiles[static_cast<size_t>(u)],
+                                           profiles[static_cast<size_t>(v)]));
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(greedy_matching(graph));
+  }
+}
+BENCHMARK(BM_GreedyMatching)->Arg(128)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace muri
+
+BENCHMARK_MAIN();

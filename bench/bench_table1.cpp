@@ -1,0 +1,32 @@
+// Table 1 + Table 3: per-model stage-duration percentages and bottleneck
+// classes of the model zoo (the paper measured these with PyTorch
+// Profiler on 16 V100s; our zoo encodes them as the profile source of
+// truth — see DESIGN.md §2).
+#include <cstdio>
+
+#include "job/model.h"
+
+using namespace muri;
+
+int main() {
+  std::printf("Table 1 — stage duration percentage per iteration "
+              "(16-worker profiles)\n");
+  std::printf("%-12s %-10s %6s | %9s %10s %9s %11s | %s\n", "model",
+              "dataset", "batch", "load data", "preprocess", "propagate",
+              "synchronize", "bottleneck");
+  for (ModelKind m : kAllModels) {
+    const ModelSpec& spec = model_spec(m);
+    const IterationProfile p = model_profile(m, 16);
+    std::printf("%-12s %-10s %6d | %8.1f%% %9.1f%% %8.1f%% %10.1f%% | %s\n",
+                spec.name.data(), spec.dataset.data(), spec.batch_size,
+                100 * p.fraction(Resource::kStorage),
+                100 * p.fraction(Resource::kCpu),
+                100 * p.fraction(Resource::kGpu),
+                100 * p.fraction(Resource::kNetwork),
+                to_string(spec.bottleneck).data());
+  }
+  std::printf("\nPaper reference rows (Table 1): shufflenet storage-heavy, "
+              "vgg19 network-heavy,\ngpt2 GPU-heavy, a2c CPU-heavy; "
+              "bottlenecks per Table 3.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Table 2: the four-job interleaving demonstration.
+//
+// The paper trains ShuffleNet (storage-bound), A2C (CPU-bound), GPT-2
+// (GPU-bound) and VGG16 (network-bound) separately and then together with
+// multi-resource interleaving, and reports per-job normalized throughput
+// summing to ≈2.0×. We reproduce it twice:
+//   1. with the live threaded executor (real stage barriers and resource
+//      tokens, scaled time), and
+//   2. with the simulator's fluid model (what the trace benches use),
+// and additionally show the uncoordinated-sharing counterfactual that
+// motivates §2.1.
+#include <cstdio>
+#include <vector>
+
+#include "interleave/efficiency.h"
+#include "job/model.h"
+#include "runtime/executor.h"
+#include "sim/fluid.h"
+
+using namespace muri;
+
+int main() {
+  const ModelKind models[4] = {ModelKind::kShuffleNet, ModelKind::kA2c,
+                               ModelKind::kGpt2, ModelKind::kVgg16};
+
+  std::vector<ResourceVector> profiles;
+  std::vector<runtime::ExecJobSpec> specs;
+  for (ModelKind m : models) {
+    const IterationProfile p = model_profile(m, 1);
+    profiles.push_back(p.stage_time);
+    specs.push_back({std::string(to_string(m)), p.stage_time, 0});
+  }
+  const InterleavePlan plan = plan_interleave(profiles);
+  for (size_t i = 0; i < specs.size(); ++i) {
+    specs[i].offset = plan.offsets[i];
+  }
+
+  runtime::ExecOptions opt;
+  opt.time_scale = 0.02;  // 1 simulated second -> 20 ms of wall work
+  opt.run_for = 3.0;
+  opt.slots = plan.slots;
+
+  std::printf("Table 2 — interleaving four bottleneck-complementary jobs\n");
+  std::printf("group plan: period=%.3fs gamma=%.3f\n\n", plan.period,
+              plan.efficiency);
+
+  // Solo baselines.
+  std::vector<double> solo(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    solo[i] = run_solo(specs[i], opt).sim_throughput;
+  }
+
+  // Live coordinated group.
+  opt.coordinate = true;
+  const auto shared = run_group(specs, opt);
+
+  // Live uncoordinated group (the §2.1 pathology baseline).
+  runtime::ExecOptions unopt = opt;
+  unopt.coordinate = false;
+  unopt.slots.clear();
+  const auto unshared = run_group(specs, unopt);
+
+  // Fluid model prediction for a 4-job coordinated group.
+  const auto rates =
+      max_min_fair_rates(profiles, 1.0 + 0.05 * (specs.size() - 1));
+
+  std::printf("%-12s %10s | %10s %7s | %10s %7s | %7s\n", "model",
+              "solo it/s", "muri it/s", "norm", "unco it/s", "norm",
+              "fluid");
+  double total_norm = 0, total_unco = 0, total_fluid = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const double norm =
+        solo[i] > 0 ? shared.jobs[i].sim_throughput / solo[i] : 0;
+    const double unorm =
+        solo[i] > 0 ? unshared.jobs[i].sim_throughput / solo[i] : 0;
+    total_norm += norm;
+    total_unco += unorm;
+    total_fluid += rates[i];
+    std::printf("%-12s %10.2f | %10.2f %7.2f | %10.2f %7.2f | %7.2f\n",
+                specs[i].name.c_str(), solo[i],
+                shared.jobs[i].sim_throughput, norm,
+                unshared.jobs[i].sim_throughput, unorm, rates[i]);
+  }
+  std::printf("%-12s %10s | %10s %7.2f | %10s %7.2f | %7.2f\n",
+              "total norm.", "", "", total_norm, "", total_unco, total_fluid);
+  std::printf("\npaper: total normalized throughput 2.00x "
+              "(0.86/0.48/0.41/0.25 per job)\n");
+  return 0;
+}

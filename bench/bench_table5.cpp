@@ -1,0 +1,24 @@
+// Table 5: testbed experiment with UNKNOWN job durations.
+// 64-GPU cluster, 400-job busiest-interval trace; Tiresias and Themis vs
+// Muri-L. Paper: norm JCT 2.59 / 3.56, norm makespan 1.48 / 1.47, norm
+// p99 JCT 2.54 / 2.60 (relative to Muri-L = 1).
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace muri;
+using namespace muri::bench;
+
+int main() {
+  const Trace trace = testbed_trace();
+  std::printf("Table 5 — testbed (64 GPUs, %zu jobs), durations unknown\n\n",
+              trace.jobs.size());
+  const auto results = run_all(trace, {"Tiresias", "Themis", "Muri-L"},
+                               default_sim_options(false));
+  print_normalized_table("normalized metrics", results, "Muri-L");
+  std::printf("\nraw metrics\n");
+  print_raw_table(results);
+  std::printf("\npaper: Tiresias 2.59/1.48/2.54, Themis 3.56/1.47/2.60 "
+              "(JCT/makespan/p99 vs Muri-L)\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "bench_util.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace muri::bench {
+
+SimOptions default_sim_options(bool durations_known) {
+  SimOptions opt;
+  opt.cluster.num_machines = 8;
+  opt.cluster.gpus_per_machine = 8;
+  opt.durations_known = durations_known;
+  return opt;
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "FIFO") return std::make_unique<FifoScheduler>();
+  if (name == "SRTF") return std::make_unique<SrtfScheduler>();
+  if (name == "SRSF") return std::make_unique<SrsfScheduler>();
+  if (name == "Tiresias") return std::make_unique<TiresiasScheduler>();
+  if (name == "Themis") return std::make_unique<ThemisScheduler>();
+  if (name == "AntMan") return std::make_unique<AntManScheduler>();
+
+  if (name.rfind("Muri", 0) == 0) {
+    MuriOptions opt;
+    opt.durations_known = name.rfind("Muri-S", 0) == 0;
+    // Suffixes after "Muri-S"/"Muri-L": "-2"/"-3"/"-4" (max group size),
+    // "-worstorder", "-noblossom", "-nobucket".
+    if (name.find("-2") != std::string::npos) opt.max_group_size = 2;
+    if (name.find("-3") != std::string::npos) opt.max_group_size = 3;
+    if (name.find("-worstorder") != std::string::npos) {
+      opt.ordering = OrderingPolicy::kWorst;
+    }
+    if (name.find("-noblossom") != std::string::npos) opt.use_blossom = false;
+    if (name.find("-nobucket") != std::string::npos) opt.bucket_by_gpu = false;
+    return std::make_unique<MuriScheduler>(opt);
+  }
+  throw std::invalid_argument("unknown scheduler: " + name);
+}
+
+std::vector<SimResult> run_all(const Trace& trace,
+                               const std::vector<std::string>& scheduler_names,
+                               const SimOptions& options) {
+  std::vector<SimResult> results;
+  results.reserve(scheduler_names.size());
+  for (const std::string& name : scheduler_names) {
+    auto scheduler = make_scheduler(name);
+    results.push_back(run_simulation(trace, *scheduler, options));
+  }
+  return results;
+}
+
+namespace {
+const SimResult& find_result(const std::vector<SimResult>& results,
+                             const std::string& name) {
+  for (const SimResult& r : results) {
+    if (r.scheduler_name == name) return r;
+  }
+  throw std::invalid_argument("reference scheduler not found: " + name);
+}
+}  // namespace
+
+void print_normalized_table(const std::string& title,
+                            const std::vector<SimResult>& results,
+                            const std::string& reference) {
+  const SimResult& ref = find_result(results, reference);
+  std::printf("%s (normalized to %s; >1 means %s is better)\n", title.c_str(),
+              reference.c_str(), reference.c_str());
+  std::printf("  %-24s %12s %12s %12s\n", "scheduler", "norm JCT",
+              "norm makespan", "norm p99 JCT");
+  for (const SimResult& r : results) {
+    std::printf("  %-24s %12.2f %12.2f %12.2f\n", r.scheduler_name.c_str(),
+                ref.avg_jct > 0 ? r.avg_jct / ref.avg_jct : 0.0,
+                ref.makespan > 0 ? r.makespan / ref.makespan : 0.0,
+                ref.p99_jct > 0 ? r.p99_jct / ref.p99_jct : 0.0);
+  }
+}
+
+void print_raw_table(const std::vector<SimResult>& results) {
+  std::printf("  %-24s %10s %10s %10s %8s %8s %6s %6s\n", "scheduler",
+              "avg JCT", "p99 JCT", "makespan", "queue", "block", "width",
+              "rate");
+  for (const SimResult& r : results) {
+    std::printf("  %-24s %10s %10s %10s %8.1f %8.2f %6.2f %6.2f\n",
+                r.scheduler_name.c_str(), fmt_duration(r.avg_jct).c_str(),
+                fmt_duration(r.p99_jct).c_str(),
+                fmt_duration(r.makespan).c_str(), r.avg_queue_length,
+                r.avg_blocking_index, r.avg_group_width,
+                r.avg_normalized_rate);
+  }
+}
+
+std::string fmt_duration(double seconds) {
+  char buf[32];
+  if (seconds < 120) {
+    std::snprintf(buf, sizeof(buf), "%.0fs", seconds);
+  } else if (seconds < 3 * 3600) {
+    std::snprintf(buf, sizeof(buf), "%.1fm", seconds / 60);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600);
+  }
+  return buf;
+}
+
+}  // namespace muri::bench

@@ -1,0 +1,49 @@
+// Shared helpers for the per-table/figure bench binaries.
+//
+// Every bench regenerates one table or figure from the paper: it builds
+// the workload, runs the schedulers through the simulator (or the live
+// executor), and prints the same rows/series the paper reports, with
+// metrics normalized the way the paper normalizes them (baseline / Muri,
+// so larger = Muri wins by that factor).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "scheduler/baselines.h"
+#include "scheduler/muri.h"
+#include "sim/simulator.h"
+
+namespace muri::bench {
+
+// The evaluation cluster: 8 machines × 8 GPUs (§6.1).
+SimOptions default_sim_options(bool durations_known);
+
+// Fresh scheduler instances by canonical name: "FIFO", "SRTF", "SRSF",
+// "Tiresias", "Themis", "AntMan", "Muri-S", "Muri-L". Muri variants accept
+// the MuriOptions overrides below. Throws std::invalid_argument on an
+// unknown name.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name);
+
+// Runs `scheduler_names` over `trace` (fresh scheduler per run) and
+// returns the results in order.
+std::vector<SimResult> run_all(const Trace& trace,
+                               const std::vector<std::string>& scheduler_names,
+                               const SimOptions& options);
+
+// Prints a Table 4/5-style block: normalized JCT / makespan / 99th %-ile
+// JCT of every result relative to the result named `reference`
+// (baseline ÷ reference, so the reference row prints 1.00).
+void print_normalized_table(const std::string& title,
+                            const std::vector<SimResult>& results,
+                            const std::string& reference);
+
+// Prints raw metrics for every result (absolute seconds), for the
+// EXPERIMENTS.md record.
+void print_raw_table(const std::vector<SimResult>& results);
+
+// Formats seconds as a compact human-readable duration ("3.2h").
+std::string fmt_duration(double seconds);
+
+}  // namespace muri::bench

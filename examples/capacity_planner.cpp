@@ -1,0 +1,88 @@
+// Capacity planner: how many GPUs does a workload need under each
+// scheduler to hit a target average JCT? Sweeps cluster sizes and reports
+// the smallest cluster that meets the target — the operator-facing "what
+// does Muri save me" question.
+//
+//   ./examples/capacity_planner --trace 1 --target-jct 7200
+//   ./examples/capacity_planner --trace testbed --schedulers SRSF,Muri-S
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "scheduler/baselines.h"
+#include "scheduler/muri.h"
+#include "sim/simulator.h"
+
+using namespace muri;
+
+namespace {
+
+std::unique_ptr<Scheduler> make(const std::string& name) {
+  if (name == "SRTF") return std::make_unique<SrtfScheduler>();
+  if (name == "SRSF") return std::make_unique<SrsfScheduler>();
+  if (name == "Tiresias") return std::make_unique<TiresiasScheduler>();
+  if (name == "Muri-S") {
+    MuriOptions o;
+    o.durations_known = true;
+    return std::make_unique<MuriScheduler>(o);
+  }
+  if (name == "Muri-L") return std::make_unique<MuriScheduler>(MuriOptions{});
+  throw std::invalid_argument("unknown scheduler " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Flags flags(argc, argv);
+    const std::string id = flags.get("trace", "1");
+    Trace trace =
+        id == "testbed" ? testbed_trace() : standard_trace(std::stoi(id));
+    const double target = flags.get_double("target-jct", 4 * 3600.0);
+
+    std::vector<std::string> schedulers;
+    {
+      std::stringstream ss(flags.get("schedulers", "SRSF,Muri-S"));
+      std::string item;
+      while (std::getline(ss, item, ',')) schedulers.push_back(item);
+    }
+
+    std::printf("trace %s (%zu jobs, %.0f GPU-hours); target avg JCT %.0fs\n\n",
+                trace.name.c_str(), trace.jobs.size(),
+                trace.total_gpu_seconds() / 3600, target);
+    std::printf("%-10s", "GPUs");
+    for (const auto& s : schedulers) std::printf(" %12s", s.c_str());
+    std::printf("\n");
+
+    std::vector<int> met(schedulers.size(), 0);
+    for (int machines : {4, 6, 8, 12, 16, 24, 32}) {
+      std::printf("%-10d", machines * 8);
+      for (size_t i = 0; i < schedulers.size(); ++i) {
+        auto scheduler = make(schedulers[i]);
+        SimOptions opt;
+        opt.cluster.num_machines = machines;
+        opt.cluster.gpus_per_machine = 8;
+        opt.durations_known = scheduler->needs_durations();
+        const SimResult r = run_simulation(trace, *scheduler, opt);
+        std::printf(" %11.0fs", r.avg_jct);
+        if (met[i] == 0 && r.avg_jct <= target) met[i] = machines * 8;
+      }
+      std::printf("\n");
+    }
+    std::printf("\nsmallest cluster meeting the target:\n");
+    for (size_t i = 0; i < schedulers.size(); ++i) {
+      if (met[i] > 0) {
+        std::printf("  %-10s %d GPUs\n", schedulers[i].c_str(), met[i]);
+      } else {
+        std::printf("  %-10s not met up to 256 GPUs\n", schedulers[i].c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,120 @@
+// Interleave explorer: inspect Muri's grouping math for any set of models.
+//
+//   ./examples/interleave_explorer shufflenet a2c gpt2 vgg16
+//   ./examples/interleave_explorer --gpus 8 bert gpt2
+//   ./examples/interleave_explorer --all-pairs
+//
+// Prints the per-model profiles, every ordering of the group with its
+// period, the chosen best/worst plans with γ, the fluid-model throughput
+// prediction, and (with --all-pairs) the full pairwise-efficiency matrix
+// of the model zoo — the edge weights Muri's Blossom matching consumes.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "interleave/efficiency.h"
+#include "job/model.h"
+#include "sim/fluid.h"
+
+using namespace muri;
+
+namespace {
+
+void print_profile(ModelKind m, int gpus) {
+  const IterationProfile p = model_profile(m, gpus);
+  std::printf("  %-12s iter=%.3fs  busy: io=%.3f cpu=%.3f gpu=%.3f "
+              "net=%.3f  bottleneck=%s\n",
+              to_string(m).data(), p.iteration_time(),
+              p.stage_time[0], p.stage_time[1], p.stage_time[2],
+              p.stage_time[3], to_string(p.bottleneck_resource()).data());
+}
+
+void print_pair_matrix(int gpus) {
+  std::printf("pairwise interleaving efficiency gamma (the matching edge "
+              "weights):\n%-12s", "");
+  for (ModelKind m : kAllModels) std::printf(" %10s", to_string(m).data());
+  std::printf("\n");
+  for (ModelKind a : kAllModels) {
+    std::printf("%-12s", to_string(a).data());
+    for (ModelKind b : kAllModels) {
+      const double gamma = pairwise_efficiency(
+          model_profile(a, gpus).stage_time, model_profile(b, gpus).stage_time);
+      std::printf(" %10.3f", gamma);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const int gpus = flags.get_int("gpus", 1);
+
+  if (flags.get_bool("all-pairs")) {
+    print_pair_matrix(gpus);
+    return 0;
+  }
+
+  std::vector<ModelKind> models;
+  for (const std::string& name : flags.positional()) {
+    ModelKind m{};
+    if (!parse_model(name, m)) {
+      std::fprintf(stderr, "unknown model '%s'; known:", name.c_str());
+      for (ModelKind k : kAllModels) {
+        std::fprintf(stderr, " %s", to_string(k).data());
+      }
+      std::fprintf(stderr, "\n");
+      return 1;
+    }
+    models.push_back(m);
+  }
+  if (models.empty()) {
+    models = {ModelKind::kShuffleNet, ModelKind::kA2c, ModelKind::kGpt2,
+              ModelKind::kVgg16};
+  }
+  if (models.size() > static_cast<size_t>(kNumResources)) {
+    std::fprintf(stderr, "at most %d jobs per group (k resource types)\n",
+                 kNumResources);
+    return 1;
+  }
+
+  std::printf("group of %zu jobs at %d GPU(s) each:\n", models.size(), gpus);
+  std::vector<IterationProfile> profiles;
+  std::vector<ResourceVector> stages;
+  for (ModelKind m : models) {
+    print_profile(m, gpus);
+    profiles.push_back(model_profile(m, gpus));
+    stages.push_back(profiles.back().stage_time);
+  }
+
+  // Enumerate every ordering the way §4.2 describes.
+  const InterleavePlan best = plan_interleave(stages, OrderingPolicy::kBest);
+  const InterleavePlan worst = plan_interleave(stages, OrderingPolicy::kWorst);
+  std::printf("\nrotation slots:");
+  for (Resource r : best.slots) std::printf(" %s", to_string(r).data());
+  std::printf("\nbest ordering:  offsets [");
+  for (int o : best.offsets) std::printf(" %d", o);
+  std::printf(" ]  period %.3fs  gamma %.3f\n", best.period, best.efficiency);
+  std::printf("worst ordering: offsets [");
+  for (int o : worst.offsets) std::printf(" %d", o);
+  std::printf(" ]  period %.3fs  gamma %.3f\n", worst.period,
+              worst.efficiency);
+
+  // Execution-model prediction.
+  FluidOptions fluid;
+  fluid.inflation = 1.0 + 0.05 * (static_cast<double>(models.size()) - 1);
+  const auto rates = max_min_fair_rates(profiles, fluid);
+  std::printf("\npredicted throughput when interleaved (fluid model):\n");
+  double sum = 0;
+  for (size_t i = 0; i < models.size(); ++i) {
+    std::printf("  %-12s %.0f%% of solo speed\n",
+                to_string(models[i]).data(), 100 * rates[i]);
+    sum += rates[i];
+  }
+  std::printf("  total normalized throughput: %.2fx of one exclusive job\n",
+              sum);
+  return 0;
+}

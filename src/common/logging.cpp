@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace muri {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+void emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[muri:" << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace detail
+}  // namespace muri

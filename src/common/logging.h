@@ -1,0 +1,54 @@
+// Minimal leveled logger. The simulator is hot-path sensitive, so log calls
+// below the active level cost one branch. Not thread-safe by design for the
+// simulator; the live runtime serializes through log_locked().
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace muri {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Process-wide log level; defaults to kWarn so tests and benches stay quiet.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+std::mutex& log_mutex();
+}  // namespace detail
+
+// Usage: MURI_LOG(kInfo) << "scheduled " << n << " jobs";
+#define MURI_LOG(level)                                         \
+  if (::muri::LogLevel::level < ::muri::log_level()) {          \
+  } else                                                        \
+    ::muri::LogStatement(::muri::LogLevel::level)
+
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { detail::emit(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace muri

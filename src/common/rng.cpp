@@ -1,0 +1,20 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace muri {
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(sum > 0.0);
+  double x = uniform() * sum;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace muri

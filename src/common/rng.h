@@ -1,0 +1,64 @@
+// Deterministic random number generation for reproducible traces and
+// simulations. Every stochastic component takes an explicit Rng (or a seed)
+// so that benches regenerate identical numbers run-to-run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace muri {
+
+// Thin wrapper over a fixed-algorithm engine (mt19937_64) so the stream is
+// stable across standard libraries and platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 42) : engine_(seed) {}
+
+  // Uniform in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  // Exponential with the given rate (events per unit time).
+  double exponential(double rate) {
+    std::exponential_distribution<double> d(rate);
+    return d(engine_);
+  }
+
+  // Log-normal with the given parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    std::lognormal_distribution<double> d(mu, sigma);
+    return d(engine_);
+  }
+
+  double normal(double mean, double stddev) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Precondition: weights non-empty with non-negative entries, positive sum.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  // Splits off an independent sub-stream; used to give each component its
+  // own generator so adding draws in one place does not perturb another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace muri

@@ -1,0 +1,57 @@
+#include "common/types.h"
+
+#include <sstream>
+
+namespace muri {
+
+std::string_view to_string(Resource r) noexcept {
+  switch (r) {
+    case Resource::kStorage:
+      return "storage";
+    case Resource::kCpu:
+      return "cpu";
+    case Resource::kGpu:
+      return "gpu";
+    case Resource::kNetwork:
+      return "network";
+  }
+  return "unknown";
+}
+
+bool parse_resource(std::string_view text, Resource& out) noexcept {
+  for (Resource r : kAllResources) {
+    if (text == to_string(r)) {
+      out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+Duration total(const ResourceVector& v) noexcept {
+  Duration sum = 0;
+  for (Duration d : v) sum += d;
+  return sum;
+}
+
+Resource bottleneck(const ResourceVector& v) noexcept {
+  int best = 0;
+  for (int j = 1; j < kNumResources; ++j) {
+    if (v[static_cast<size_t>(j)] > v[static_cast<size_t>(best)]) best = j;
+  }
+  return static_cast<Resource>(best);
+}
+
+std::string to_string(const ResourceVector& v) {
+  std::ostringstream os;
+  os << '[';
+  for (int j = 0; j < kNumResources; ++j) {
+    if (j > 0) os << ' ';
+    os << to_string(static_cast<Resource>(j)) << '='
+       << v[static_cast<size_t>(j)];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace muri

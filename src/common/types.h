@@ -1,0 +1,74 @@
+// Core vocabulary types shared by every Muri module.
+//
+// The paper models four resource types used by DL training stages
+// (storage IO for data loading, CPU for preprocessing, GPU for
+// forward/backward propagation, network IO for gradient synchronization).
+// All durations are kept in double-precision seconds of simulated time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace muri {
+
+// Simulated wall-clock time in seconds. Negative values are invalid except
+// for kNoTime sentinels.
+using Time = double;
+
+// A duration in seconds of simulated time.
+using Duration = double;
+
+inline constexpr Time kNoTime = -1.0;
+
+// Identifier of a job; assigned densely at submission order.
+using JobId = std::int64_t;
+inline constexpr JobId kInvalidJob = -1;
+
+// Identifier of a machine in the cluster.
+using MachineId = std::int32_t;
+inline constexpr MachineId kInvalidMachine = -1;
+
+// Identifier of a single GPU, global across the cluster.
+using GpuId = std::int32_t;
+inline constexpr GpuId kInvalidGpu = -1;
+
+// The four resource types a DL training stage is dominated by (§2.2,
+// Table 1). The order matches the natural stage order of one iteration:
+// load data (storage) -> preprocess (CPU) -> propagate (GPU) ->
+// synchronize (network).
+enum class Resource : std::uint8_t {
+  kStorage = 0,
+  kCpu = 1,
+  kGpu = 2,
+  kNetwork = 3,
+};
+
+inline constexpr int kNumResources = 4;
+
+inline constexpr std::array<Resource, kNumResources> kAllResources = {
+    Resource::kStorage, Resource::kCpu, Resource::kGpu, Resource::kNetwork};
+
+// Short human-readable name, e.g. for bench table headers.
+std::string_view to_string(Resource r) noexcept;
+
+// Parses "storage" / "cpu" / "gpu" / "network" (case-sensitive).
+// Returns false on unknown names.
+bool parse_resource(std::string_view text, Resource& out) noexcept;
+
+// A per-resource vector of durations: t^j for j in [0, kNumResources).
+// This is the "resource profile" of one training iteration of a job (§4.1).
+using ResourceVector = std::array<Duration, kNumResources>;
+
+// Sum over all resource types; the solo (un-interleaved) iteration time
+// under the paper's one-stage-one-resource model.
+Duration total(const ResourceVector& v) noexcept;
+
+// The resource with the largest duration: the job's bottleneck (Table 3).
+Resource bottleneck(const ResourceVector& v) noexcept;
+
+// Formats e.g. "[storage=0.12 cpu=0.03 gpu=0.40 network=0.08]".
+std::string to_string(const ResourceVector& v);
+
+}  // namespace muri

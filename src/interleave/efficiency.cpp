@@ -1,0 +1,184 @@
+#include "interleave/efficiency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace muri {
+
+std::vector<Resource> rotation_slots(
+    const std::vector<ResourceVector>& profiles) {
+  std::array<bool, kNumResources> active{};
+  for (const ResourceVector& prof : profiles) {
+    for (int j = 0; j < kNumResources; ++j) {
+      if (prof[static_cast<size_t>(j)] > 0) active[static_cast<size_t>(j)] = true;
+    }
+  }
+  std::vector<Resource> slots;
+  for (int j = 0; j < kNumResources; ++j) {
+    if (active[static_cast<size_t>(j)]) {
+      slots.push_back(static_cast<Resource>(j));
+    }
+  }
+  // Pad with unused resources so every member gets a distinct offset.
+  for (int j = 0; j < kNumResources &&
+                  slots.size() < std::max<size_t>(profiles.size(), 1);
+       ++j) {
+    if (!active[static_cast<size_t>(j)]) {
+      slots.push_back(static_cast<Resource>(j));
+    }
+  }
+  if (slots.empty()) slots.push_back(Resource::kStorage);
+  return slots;
+}
+
+Duration group_period(const std::vector<ResourceVector>& profiles,
+                      const std::vector<Resource>& slots,
+                      const std::vector<int>& offsets) {
+  assert(profiles.size() == offsets.size());
+  assert(profiles.size() <= slots.size());
+  const int p = static_cast<int>(profiles.size());
+  const int s = static_cast<int>(slots.size());
+  if (p == 0) return 0;
+
+  Duration period = 0;
+  for (int phase = 0; phase < s; ++phase) {
+    Duration longest = 0;
+    for (int i = 0; i < p; ++i) {
+      const int pos = (offsets[static_cast<size_t>(i)] + phase) % s;
+      const auto r = static_cast<size_t>(slots[static_cast<size_t>(pos)]);
+      longest = std::max(longest, profiles[static_cast<size_t>(i)][r]);
+    }
+    period += longest;
+  }
+  return period;
+}
+
+Duration group_period(const std::vector<ResourceVector>& profiles,
+                      const std::vector<int>& offsets) {
+  return group_period(profiles, rotation_slots(profiles), offsets);
+}
+
+double group_efficiency(const std::vector<ResourceVector>& profiles,
+                        Duration period) {
+  if (period <= 0 || profiles.empty()) return 0;
+
+  double idle_fraction_sum = 0;
+  int active_resources = 0;
+  for (int j = 0; j < kNumResources; ++j) {
+    Duration busy = 0;
+    for (const ResourceVector& prof : profiles) {
+      busy += prof[static_cast<size_t>(j)];
+    }
+    if (busy <= 0) continue;  // resource unused by the whole group
+    ++active_resources;
+    // Distinct offsets guarantee busy <= period; clamp defensively for
+    // merged pseudo-profiles where the invariant is approximate.
+    busy = std::min(busy, period);
+    idle_fraction_sum += (period - busy) / period;
+  }
+  if (active_resources == 0) return 0;
+  return 1.0 - idle_fraction_sum / active_resources;
+}
+
+InterleavePlan plan_interleave(const std::vector<ResourceVector>& profiles,
+                               OrderingPolicy policy) {
+  InterleavePlan plan;
+  const int p = static_cast<int>(profiles.size());
+  if (p == 0) return plan;
+
+  plan.slots = rotation_slots(profiles);
+  const int s = static_cast<int>(plan.slots.size());
+
+  if (p == 1) {
+    plan.offsets = {0};
+    plan.period = total(profiles[0]);
+    plan.efficiency = group_efficiency(profiles, plan.period);
+    return plan;
+  }
+  // More members than distinct slots cannot rotate without collision; the
+  // scheduler never builds such groups (p ≤ k), but stay defensive.
+  assert(p <= s);
+
+  // Enumerate injective offset assignments with offsets[0] == 0. Permute
+  // the remaining s-1 positions and take a prefix for members 1..p-1.
+  std::vector<int> rest;
+  for (int o = 1; o < s; ++o) rest.push_back(o);
+
+  std::vector<int> offsets(static_cast<size_t>(p), 0);
+  bool first = true;
+  do {
+    for (int i = 1; i < p; ++i) {
+      offsets[static_cast<size_t>(i)] = rest[static_cast<size_t>(i - 1)];
+    }
+    const Duration period = group_period(profiles, plan.slots, offsets);
+    const bool better = policy == OrderingPolicy::kBest
+                            ? period < plan.period
+                            : period > plan.period;
+    if (first || better) {
+      plan.offsets = offsets;
+      plan.period = period;
+      first = false;
+    }
+  } while (std::next_permutation(rest.begin(), rest.end()));
+
+  plan.efficiency = group_efficiency(profiles, plan.period);
+  return plan;
+}
+
+double pairwise_efficiency(const ResourceVector& a, const ResourceVector& b,
+                           OrderingPolicy policy) {
+  // Allocation-free fast path: this is the inner loop of the matching
+  // graph construction (O(n²) edges per scheduling round).
+  std::array<int, kNumResources> slot_resource;
+  int s = 0;
+  for (int j = 0; j < kNumResources; ++j) {
+    if (a[static_cast<size_t>(j)] > 0 || b[static_cast<size_t>(j)] > 0) {
+      slot_resource[static_cast<size_t>(s++)] = j;
+    }
+  }
+  if (s < 2) {
+    // One (or zero) active resources: both jobs serialize on it.
+    if (s == 0) return 0;
+    return 1.0;  // the single active resource is busy the whole period
+  }
+
+  Duration chosen = 0;
+  bool first = true;
+  for (int o = 1; o < s; ++o) {
+    Duration period = 0;
+    for (int phase = 0; phase < s; ++phase) {
+      const auto ra = static_cast<size_t>(
+          slot_resource[static_cast<size_t>(phase)]);
+      const auto rb = static_cast<size_t>(
+          slot_resource[static_cast<size_t>((o + phase) % s)]);
+      period += std::max(a[ra], b[rb]);
+    }
+    const bool better =
+        policy == OrderingPolicy::kBest ? period < chosen : period > chosen;
+    if (first || better) {
+      chosen = period;
+      first = false;
+    }
+  }
+  if (chosen <= 0) return 0;
+  double idle_fraction_sum = 0;
+  for (int slot = 0; slot < s; ++slot) {
+    const auto r = static_cast<size_t>(slot_resource[static_cast<size_t>(slot)]);
+    const Duration busy = std::min(a[r] + b[r], chosen);
+    idle_fraction_sum += (chosen - busy) / chosen;
+  }
+  return 1.0 - idle_fraction_sum / s;
+}
+
+ResourceVector merge_profiles(const std::vector<ResourceVector>& profiles) {
+  ResourceVector merged{};
+  for (const ResourceVector& prof : profiles) {
+    for (int j = 0; j < kNumResources; ++j) {
+      merged[static_cast<size_t>(j)] += prof[static_cast<size_t>(j)];
+    }
+  }
+  return merged;
+}
+
+}  // namespace muri

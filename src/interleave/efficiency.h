@@ -1,0 +1,91 @@
+// Interleaving-efficiency model — the analytical core of Muri (§4).
+//
+// A group of p jobs runs in a rotating schedule over a list of rotation
+// *slots*. The slots are the resources actively used by the group (in
+// canonical resource order), padded with unused resources if the group has
+// more members than active resources. Member i is assigned a distinct
+// offset o_i; in phase j of each period it runs its stage on slot
+// (o_i + j) mod S. The phase length is the longest stage any member runs
+// in that phase, so the period is
+//
+//     T = Σ_{j=0}^{S-1} max_i t_i^{slot[(o_i + j) mod S]}     (Eq. 3)
+//
+// and the interleaving efficiency is the average non-idle fraction over
+// the active resources
+//
+//     γ = 1 - (1/k') Σ_{j active} (T - Σ_i t_i^j) / T         (Eq. 4)
+//
+// which reduces exactly to Eq. 1/2 for two jobs over two resource types
+// (the Figure 4 worked examples). Different offset assignments
+// ("orderings", Fig. 6) yield different T; Muri enumerates them (S ≤ 4)
+// and takes the best — or the worst, for the Fig. 11 ablation.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace muri {
+
+// A concrete interleaving of a group of jobs.
+struct InterleavePlan {
+  // Rotation axis: distinct resources, actives first in canonical order.
+  std::vector<Resource> slots;
+  // offsets[i] is the rotation offset of member i into `slots`; offsets
+  // are distinct and offsets[0] == 0 (a common rotation shifts phases
+  // only).
+  std::vector<int> offsets;
+  // Period T of one interleaved round (Eq. 3).
+  Duration period = 0;
+  // Interleaving efficiency γ (Eq. 4) in [0, 1].
+  double efficiency = 0;
+};
+
+// Which offset assignment to pick among all enumerated orderings.
+enum class OrderingPolicy {
+  kBest,   // minimize T (the Muri default)
+  kWorst,  // maximize T (the Fig. 11 ablation)
+};
+
+// Derives the rotation axis for a group: every resource used by at least
+// one member (canonical order), padded with unused resources until there
+// are at least profiles.size() slots (capped at kNumResources).
+std::vector<Resource> rotation_slots(
+    const std::vector<ResourceVector>& profiles);
+
+// Period of one interleaved round (Eq. 3) for explicit slots + offsets.
+// Preconditions: slots distinct; offsets distinct, in [0, slots.size());
+// offsets.size() == profiles.size() <= slots.size().
+Duration group_period(const std::vector<ResourceVector>& profiles,
+                      const std::vector<Resource>& slots,
+                      const std::vector<int>& offsets);
+
+// Convenience overload deriving the slots via rotation_slots().
+Duration group_period(const std::vector<ResourceVector>& profiles,
+                      const std::vector<int>& offsets);
+
+// Efficiency γ for a group running with period T (Eq. 4); averages the
+// idle fraction over resources used by at least one member.
+double group_efficiency(const std::vector<ResourceVector>& profiles,
+                        Duration period);
+
+// Enumerates all distinct-offset assignments (member 0 pinned to offset 0)
+// over the derived slots and returns the plan selected by `policy`. For
+// the empty group returns a zero plan; for a single member returns its
+// solo period.
+InterleavePlan plan_interleave(const std::vector<ResourceVector>& profiles,
+                               OrderingPolicy policy = OrderingPolicy::kBest);
+
+// Convenience: best-ordering efficiency of grouping exactly two jobs —
+// the edge weight of the matching graph (§4.1).
+double pairwise_efficiency(const ResourceVector& a, const ResourceVector& b,
+                           OrderingPolicy policy = OrderingPolicy::kBest);
+
+// Profile of a merged super-node for the multi-round algorithm
+// (Algorithm 1, line 17): the group is represented downstream as a single
+// pseudo-job whose per-resource usage is the summed busy time of its
+// members. Phases of the merged schedule are not tracked; the next round
+// re-plans orderings over merged profiles.
+ResourceVector merge_profiles(const std::vector<ResourceVector>& profiles);
+
+}  // namespace muri

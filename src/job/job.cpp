@@ -1,0 +1,17 @@
+#include "job/job.h"
+
+#include <sstream>
+
+namespace muri {
+
+std::string Job::to_string() const {
+  std::ostringstream os;
+  os << "job#" << id << '{' << muri::to_string(model) << " gpus=" << num_gpus
+     << " submit=" << submit_time << " iters=" << iterations
+     << " solo=" << solo_duration() << "s}";
+  return os.str();
+}
+
+bool is_power_of_two(int g) noexcept { return g > 0 && (g & (g - 1)) == 0; }
+
+}  // namespace muri

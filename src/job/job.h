@@ -1,0 +1,43 @@
+// The static description of a DL training job as submitted to the cluster.
+// Runtime state (progress, placement, grouping) lives in the simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "job/model.h"
+
+namespace muri {
+
+struct Job {
+  JobId id = kInvalidJob;
+  ModelKind model = ModelKind::kResNet18;
+  // Number of GPUs (workers); the paper follows common practice and uses
+  // powers of two (§5).
+  int num_gpus = 1;
+  Time submit_time = 0;
+  // Total number of training iterations to run.
+  std::int64_t iterations = 0;
+  // Ground-truth per-iteration resource profile. Schedulers must not read
+  // this directly; they see the (possibly noisy) profiler output.
+  IterationProfile profile;
+
+  // Solo runtime if the job ran alone from start to finish.
+  Duration solo_duration() const noexcept {
+    return static_cast<Duration>(iterations) * profile.iteration_time();
+  }
+
+  // GPU-time product used by SRSF/2D-LAS style priorities.
+  double gpu_time(Duration t) const noexcept {
+    return t * static_cast<double>(num_gpus);
+  }
+
+  std::string to_string() const;
+};
+
+// True if g is a positive power of two (the placement and bucketing logic
+// relies on this normal form).
+bool is_power_of_two(int g) noexcept;
+
+}  // namespace muri

@@ -1,0 +1,80 @@
+#include "job/model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace muri {
+
+namespace {
+
+// Stage fractions follow Table 1 for the four models it reports
+// (ShuffleNet, VGG19, GPT-2, A2C) verbatim — including the property that
+// rows do not sum to 100% (idle gaps below, stage overlap above). The
+// remaining four models are assigned fractions consistent with their
+// Table 3 bottleneck class and their published compute/communication
+// character.
+constexpr std::array<ModelSpec, kNumModels> kZoo = {{
+    {ModelKind::kResNet18, "resnet18", "imagenet", 128, Resource::kStorage,
+     {0.42, 0.18, 0.22, 0.09}, 0.30},
+    {ModelKind::kShuffleNet, "shufflenet", "imagenet", 128, Resource::kStorage,
+     {0.60, 0.18, 0.06, 0.02}, 0.22},
+    {ModelKind::kVgg16, "vgg16", "imagenet", 16, Resource::kNetwork,
+     {0.20, 0.04, 0.25, 0.44}, 0.36},
+    {ModelKind::kVgg19, "vgg19", "imagenet", 16, Resource::kNetwork,
+     {0.24, 0.04, 0.26, 0.41}, 0.40},
+    {ModelKind::kBert, "bert", "wikitext", 4, Resource::kGpu,
+     {0.02, 0.03, 0.62, 0.30}, 0.55},
+    {ModelKind::kGpt2, "gpt2", "wikitext", 4, Resource::kGpu,
+     {0.0006, 0.0003, 0.85, 0.28}, 0.90},
+    {ModelKind::kA2c, "a2c", "breakout", 64, Resource::kCpu,
+     {0.00, 0.91, 0.03, 0.002}, 0.25},
+    {ModelKind::kDqn, "dqn", "breakout", 128, Resource::kCpu,
+     {0.02, 0.76, 0.14, 0.03}, 0.30},
+}};
+
+}  // namespace
+
+std::string_view to_string(ModelKind m) noexcept {
+  return model_spec(m).name;
+}
+
+bool parse_model(std::string_view text, ModelKind& out) noexcept {
+  for (ModelKind m : kAllModels) {
+    if (text == to_string(m)) {
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+const ModelSpec& model_spec(ModelKind m) noexcept {
+  const auto idx = static_cast<size_t>(m);
+  assert(idx < kZoo.size());
+  return kZoo[idx];
+}
+
+IterationProfile model_profile(ModelKind m, int num_gpus) {
+  assert(num_gpus >= 1);
+  const ModelSpec& spec = model_spec(m);
+  IterationProfile p;
+  p.span = spec.base_iteration_time;
+  for (int j = 0; j < kNumResources; ++j) {
+    p.stage_time[static_cast<size_t>(j)] =
+        spec.stage_fraction[static_cast<size_t>(j)] * spec.base_iteration_time;
+  }
+  if (num_gpus > 1) {
+    // Ring-allreduce traffic per worker is ~2(n-1)/n of the model size and
+    // contends for the per-machine NIC, so synchronization time grows
+    // mildly with the worker count. The extra synchronization tail cannot
+    // be hidden by intra-job pipelining, so it extends the span too.
+    const double scale = 1.0 + 0.1 * std::log2(static_cast<double>(num_gpus));
+    const auto net = static_cast<size_t>(Resource::kNetwork);
+    const Duration extra = p.stage_time[net] * (scale - 1.0);
+    p.stage_time[net] += extra;
+    p.span += extra;
+  }
+  return p;
+}
+
+}  // namespace muri

@@ -1,0 +1,81 @@
+// Workload traces: a Philly-like synthetic generator plus CSV round-trip.
+//
+// The paper evaluates on four virtual-cluster slices of the Microsoft
+// Philly trace (992–5755 jobs) and a 400-job "busiest interval" for the
+// testbed, assigning each trace job one of the eight Table-3 models at
+// random because the trace does not record models. We cannot ship the
+// Philly data, so `generate_philly_like` reproduces its published
+// statistical shape: heavy-tailed (log-normal) durations, bursty Poisson
+// arrivals with a diurnal factor, and a power-of-two GPU-count mixture
+// dominated by single-GPU jobs. All draws are seeded and deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "job/job.h"
+
+namespace muri {
+
+struct Trace {
+  std::string name;
+  std::vector<Job> jobs;  // sorted by submit_time, ids dense from 0
+
+  // Total GPU-seconds of work in the trace.
+  double total_gpu_seconds() const;
+};
+
+struct PhillyTraceOptions {
+  std::string name = "trace";
+  int num_jobs = 1000;
+  std::uint64_t seed = 1;
+
+  // Mean arrival rate in jobs per hour; arrivals are a Poisson process
+  // modulated by a diurnal sine (daytime burstier than night, matching
+  // Philly's published arrival pattern).
+  double jobs_per_hour = 12.0;
+  double diurnal_amplitude = 0.6;  // in [0, 1)
+
+  // Duration distribution: log-normal over seconds. Philly job durations
+  // are heavy-tailed with a median around 10-20 minutes and a long tail of
+  // multi-day jobs.
+  double duration_log_mean = 7.0;    // e^7 ≈ 1100 s median
+  double duration_log_sigma = 1.6;
+  Duration min_duration = 60.0;
+  Duration max_duration = 30.0 * 24 * 3600;
+
+  // Mixture over GPU counts {1, 2, 4, 8, 16, 32}; renormalized internally.
+  std::vector<double> gpu_count_weights = {0.72, 0.10, 0.09, 0.05, 0.03, 0.01};
+
+  // Candidate models assigned uniformly at random (§6.1 "randomly choose
+  // DL models from eight popular DL models"). Defaults to all eight.
+  std::vector<ModelKind> models{};
+};
+
+// Generates a deterministic Philly-like trace.
+Trace generate_philly_like(const PhillyTraceOptions& options);
+
+// The four simulation traces of §6.3 (IDs 1..4) with the paper's job-count
+// range (992..5755), and the 400-job busiest-interval testbed trace (§6.1).
+Trace standard_trace(int trace_id);
+Trace testbed_trace();
+
+// Returns a copy with every submit time set to 0 — the 1'–4' variants used
+// to study the impact of load (§6.3).
+Trace zero_arrivals(Trace trace);
+
+// Returns a copy keeping only jobs whose model is in `models` (used by the
+// workload-distribution study, Fig. 13); job ids are re-densified and the
+// job count is preserved by resampling models from the allowed set instead
+// of dropping jobs.
+Trace restrict_models(Trace trace, const std::vector<ModelKind>& models,
+                      std::uint64_t seed);
+
+// CSV round trip: "submit_time,duration_s,num_gpus,model" with a header.
+// Durations are mapped back to iteration counts through the model profile.
+void write_trace_csv(const Trace& trace, const std::string& path);
+Trace read_trace_csv(const std::string& path, const std::string& name);
+
+}  // namespace muri

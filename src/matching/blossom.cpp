@@ -1,0 +1,394 @@
+#include "matching/blossom.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace muri {
+namespace detail {
+
+namespace {
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+}  // namespace
+
+BlossomMatcher::BlossomMatcher(int n)
+    : n_(n),
+      n_x_(n),
+      stride_(2 * n + 1),
+      edges_(static_cast<size_t>(stride_) * stride_),
+      lab_(static_cast<size_t>(stride_), 0),
+      match_(static_cast<size_t>(stride_), 0),
+      slack_(static_cast<size_t>(stride_), 0),
+      st_(static_cast<size_t>(stride_), 0),
+      pa_(static_cast<size_t>(stride_), 0),
+      s_(static_cast<size_t>(stride_), -1),
+      vis_(static_cast<size_t>(stride_), 0),
+      flower_from_storage_(static_cast<size_t>(stride_) * (n + 1), 0),
+      flower_(static_cast<size_t>(stride_)) {
+  for (int u = 0; u < stride_; ++u) {
+    for (int v = 0; v < stride_; ++v) {
+      g_(u, v) = Edge{u, v, 0};
+    }
+  }
+}
+
+void BlossomMatcher::set_weight(int u, int v, std::int64_t w) {
+  assert(u >= 0 && u < n_ && v >= 0 && v < n_ && u != v);
+  assert(w >= 0);
+  g_(u + 1, v + 1).w = w;
+  g_(v + 1, u + 1).w = w;
+}
+
+void BlossomMatcher::update_slack(int u, int x) {
+  if (slack_[static_cast<size_t>(x)] == 0 ||
+      edge_delta(g_(u, x)) < edge_delta(g_(slack_[static_cast<size_t>(x)], x))) {
+    slack_[static_cast<size_t>(x)] = u;
+  }
+}
+
+void BlossomMatcher::set_slack(int x) {
+  slack_[static_cast<size_t>(x)] = 0;
+  for (int u = 1; u <= n_; ++u) {
+    if (g_(u, x).w > 0 && st_[static_cast<size_t>(u)] != x &&
+        s_[static_cast<size_t>(st_[static_cast<size_t>(u)])] == 0) {
+      update_slack(u, x);
+    }
+  }
+}
+
+void BlossomMatcher::push_queue(int x) {
+  if (x <= n_) {
+    queue_.push_back(x);
+  } else {
+    for (int sub : flower_[static_cast<size_t>(x)]) push_queue(sub);
+  }
+}
+
+void BlossomMatcher::set_state(int x, int b) {
+  st_[static_cast<size_t>(x)] = b;
+  if (x > n_) {
+    for (int sub : flower_[static_cast<size_t>(x)]) set_state(sub, b);
+  }
+}
+
+int BlossomMatcher::blossom_rotation(int b, int xr) {
+  auto& fl = flower_[static_cast<size_t>(b)];
+  const int pr =
+      static_cast<int>(std::find(fl.begin(), fl.end(), xr) - fl.begin());
+  if (pr % 2 == 1) {
+    // Walk the blossom cycle in the other direction so the path from the
+    // base has even length (alternating structure requirement).
+    std::reverse(fl.begin() + 1, fl.end());
+    return static_cast<int>(fl.size()) - pr;
+  }
+  return pr;
+}
+
+void BlossomMatcher::set_match(int u, int v) {
+  match_[static_cast<size_t>(u)] = g_(u, v).v;
+  if (u > n_) {
+    const Edge e = g_(u, v);
+    const int xr = flower_from_(u, e.u);
+    const int pr = blossom_rotation(u, xr);
+    auto& fl = flower_[static_cast<size_t>(u)];
+    for (int i = 0; i < pr; ++i) {
+      set_match(fl[static_cast<size_t>(i)], fl[static_cast<size_t>(i ^ 1)]);
+    }
+    set_match(xr, v);
+    std::rotate(fl.begin(), fl.begin() + pr, fl.end());
+  }
+}
+
+void BlossomMatcher::augment(int u, int v) {
+  while (true) {
+    const int xnv = st_[static_cast<size_t>(match_[static_cast<size_t>(u)])];
+    set_match(u, v);
+    if (xnv == 0) return;
+    set_match(xnv, st_[static_cast<size_t>(pa_[static_cast<size_t>(xnv)])]);
+    u = st_[static_cast<size_t>(pa_[static_cast<size_t>(xnv)])];
+    v = xnv;
+  }
+}
+
+int BlossomMatcher::get_lca(int u, int v) {
+  for (++lca_stamp_; u != 0 || v != 0; std::swap(u, v)) {
+    if (u == 0) continue;
+    if (vis_[static_cast<size_t>(u)] == lca_stamp_) return u;
+    vis_[static_cast<size_t>(u)] = lca_stamp_;
+    u = st_[static_cast<size_t>(match_[static_cast<size_t>(u)])];
+    if (u != 0) u = st_[static_cast<size_t>(pa_[static_cast<size_t>(u)])];
+  }
+  return 0;
+}
+
+void BlossomMatcher::add_blossom(int u, int lca, int v) {
+  int b = n_ + 1;
+  while (b <= n_x_ && st_[static_cast<size_t>(b)] != 0) ++b;
+  if (b > n_x_) ++n_x_;
+  assert(b < stride_);
+
+  lab_[static_cast<size_t>(b)] = 0;
+  s_[static_cast<size_t>(b)] = 0;
+  match_[static_cast<size_t>(b)] = match_[static_cast<size_t>(lca)];
+  auto& fl = flower_[static_cast<size_t>(b)];
+  fl.clear();
+  fl.push_back(lca);
+  for (int x = u, y; x != lca;
+       x = st_[static_cast<size_t>(pa_[static_cast<size_t>(y)])]) {
+    fl.push_back(x);
+    y = st_[static_cast<size_t>(match_[static_cast<size_t>(x)])];
+    fl.push_back(y);
+    push_queue(y);
+  }
+  std::reverse(fl.begin() + 1, fl.end());
+  for (int x = v, y; x != lca;
+       x = st_[static_cast<size_t>(pa_[static_cast<size_t>(y)])]) {
+    fl.push_back(x);
+    y = st_[static_cast<size_t>(match_[static_cast<size_t>(x)])];
+    fl.push_back(y);
+    push_queue(y);
+  }
+  set_state(b, b);
+  for (int x = 1; x <= n_x_; ++x) {
+    g_(b, x).w = 0;
+    g_(x, b).w = 0;
+  }
+  for (int x = 1; x <= n_; ++x) flower_from_(b, x) = 0;
+  for (int xs : fl) {
+    for (int x = 1; x <= n_x_; ++x) {
+      if (g_(b, x).w == 0 || edge_delta(g_(xs, x)) < edge_delta(g_(b, x))) {
+        g_(b, x) = g_(xs, x);
+        g_(x, b) = g_(x, xs);
+      }
+    }
+    for (int x = 1; x <= n_; ++x) {
+      if (flower_from_(xs, x) != 0) flower_from_(b, x) = xs;
+    }
+  }
+  set_slack(b);
+}
+
+void BlossomMatcher::expand_blossom(int b) {
+  auto& fl = flower_[static_cast<size_t>(b)];
+  for (int sub : fl) set_state(sub, sub);
+  const int xr = flower_from_(b, g_(b, pa_[static_cast<size_t>(b)]).u);
+  const int pr = blossom_rotation(b, xr);
+  for (int i = 0; i < pr; i += 2) {
+    const int xs = fl[static_cast<size_t>(i)];
+    const int xns = fl[static_cast<size_t>(i + 1)];
+    pa_[static_cast<size_t>(xs)] = g_(xns, xs).u;
+    s_[static_cast<size_t>(xs)] = 1;
+    s_[static_cast<size_t>(xns)] = 0;
+    slack_[static_cast<size_t>(xs)] = 0;
+    set_slack(xns);
+    push_queue(xns);
+  }
+  s_[static_cast<size_t>(xr)] = 1;
+  pa_[static_cast<size_t>(xr)] = pa_[static_cast<size_t>(b)];
+  for (std::size_t i = static_cast<std::size_t>(pr) + 1; i < fl.size(); ++i) {
+    const int xs = fl[i];
+    s_[static_cast<size_t>(xs)] = -1;
+    set_slack(xs);
+  }
+  st_[static_cast<size_t>(b)] = 0;
+}
+
+bool BlossomMatcher::on_found_edge(const Edge& e) {
+  const int u = st_[static_cast<size_t>(e.u)];
+  const int v = st_[static_cast<size_t>(e.v)];
+  if (s_[static_cast<size_t>(v)] == -1) {
+    pa_[static_cast<size_t>(v)] = e.u;
+    s_[static_cast<size_t>(v)] = 1;
+    const int nu = st_[static_cast<size_t>(match_[static_cast<size_t>(v)])];
+    slack_[static_cast<size_t>(v)] = 0;
+    slack_[static_cast<size_t>(nu)] = 0;
+    s_[static_cast<size_t>(nu)] = 0;
+    push_queue(nu);
+  } else if (s_[static_cast<size_t>(v)] == 0) {
+    const int lca = get_lca(u, v);
+    if (lca == 0) {
+      augment(u, v);
+      augment(v, u);
+      return true;
+    }
+    add_blossom(u, lca, v);
+  }
+  return false;
+}
+
+bool BlossomMatcher::matching_round() {
+  std::fill(s_.begin() + 1, s_.begin() + 1 + n_x_, -1);
+  std::fill(slack_.begin() + 1, slack_.begin() + 1 + n_x_, 0);
+  queue_.clear();
+  for (int x = 1; x <= n_x_; ++x) {
+    if (st_[static_cast<size_t>(x)] == x && match_[static_cast<size_t>(x)] == 0) {
+      pa_[static_cast<size_t>(x)] = 0;
+      s_[static_cast<size_t>(x)] = 0;
+      push_queue(x);
+    }
+  }
+  if (queue_.empty()) return false;  // matching is perfect
+
+  while (true) {
+    while (!queue_.empty()) {
+      const int u = queue_.front();
+      queue_.pop_front();
+      if (s_[static_cast<size_t>(st_[static_cast<size_t>(u)])] == 1) continue;
+      for (int v = 1; v <= n_; ++v) {
+        if (g_(u, v).w > 0 &&
+            st_[static_cast<size_t>(u)] != st_[static_cast<size_t>(v)]) {
+          if (edge_delta(g_(u, v)) == 0) {
+            if (on_found_edge(g_(u, v))) return true;
+          } else {
+            update_slack(u, st_[static_cast<size_t>(v)]);
+          }
+        }
+      }
+    }
+
+    // Dual adjustment.
+    std::int64_t d = kInf;
+    for (int b = n_ + 1; b <= n_x_; ++b) {
+      if (st_[static_cast<size_t>(b)] == b && s_[static_cast<size_t>(b)] == 1) {
+        d = std::min(d, lab_[static_cast<size_t>(b)] / 2);
+      }
+    }
+    for (int x = 1; x <= n_x_; ++x) {
+      if (st_[static_cast<size_t>(x)] == x && slack_[static_cast<size_t>(x)] != 0) {
+        if (s_[static_cast<size_t>(x)] == -1) {
+          d = std::min(d, edge_delta(g_(slack_[static_cast<size_t>(x)], x)));
+        } else if (s_[static_cast<size_t>(x)] == 0) {
+          d = std::min(d, edge_delta(g_(slack_[static_cast<size_t>(x)], x)) / 2);
+        }
+      }
+    }
+    for (int u = 1; u <= n_; ++u) {
+      const int root_state = s_[static_cast<size_t>(st_[static_cast<size_t>(u)])];
+      if (root_state == 0) {
+        if (lab_[static_cast<size_t>(u)] <= d) return false;
+        lab_[static_cast<size_t>(u)] -= d;
+      } else if (root_state == 1) {
+        lab_[static_cast<size_t>(u)] += d;
+      }
+    }
+    for (int b = n_ + 1; b <= n_x_; ++b) {
+      if (st_[static_cast<size_t>(b)] == b) {
+        if (s_[static_cast<size_t>(b)] == 0) {
+          lab_[static_cast<size_t>(b)] += d * 2;
+        } else if (s_[static_cast<size_t>(b)] == 1) {
+          lab_[static_cast<size_t>(b)] -= d * 2;
+        }
+      }
+    }
+
+    queue_.clear();
+    for (int x = 1; x <= n_x_; ++x) {
+      if (st_[static_cast<size_t>(x)] == x && slack_[static_cast<size_t>(x)] != 0 &&
+          st_[static_cast<size_t>(slack_[static_cast<size_t>(x)])] != x &&
+          edge_delta(g_(slack_[static_cast<size_t>(x)], x)) == 0) {
+        if (on_found_edge(g_(slack_[static_cast<size_t>(x)], x))) return true;
+      }
+    }
+    for (int b = n_ + 1; b <= n_x_; ++b) {
+      if (st_[static_cast<size_t>(b)] == b && s_[static_cast<size_t>(b)] == 1 &&
+          lab_[static_cast<size_t>(b)] == 0) {
+        expand_blossom(b);
+      }
+    }
+  }
+}
+
+std::vector<int> BlossomMatcher::solve(std::int64_t& total_weight) {
+  std::fill(match_.begin() + 1, match_.begin() + 1 + n_, 0);
+  n_x_ = n_;
+  for (int u = 0; u <= n_; ++u) {
+    st_[static_cast<size_t>(u)] = u;
+    flower_[static_cast<size_t>(u)].clear();
+  }
+  std::int64_t w_max = 0;
+  for (int u = 1; u <= n_; ++u) {
+    for (int v = 1; v <= n_; ++v) {
+      flower_from_(u, v) = (u == v ? u : 0);
+      w_max = std::max(w_max, g_(u, v).w);
+    }
+  }
+  for (int u = 1; u <= n_; ++u) lab_[static_cast<size_t>(u)] = w_max;
+
+  while (matching_round()) {
+  }
+
+  total_weight = 0;
+  std::vector<int> mate(static_cast<size_t>(n_), -1);
+  for (int u = 1; u <= n_; ++u) {
+    const int m = match_[static_cast<size_t>(u)];
+    if (m != 0) {
+      mate[static_cast<size_t>(u - 1)] = m - 1;
+      if (m < u) total_weight += g_(u, m).w;
+    }
+  }
+  return mate;
+}
+
+}  // namespace detail
+
+Matching max_weight_matching(const DenseGraph& graph) {
+  const int n = graph.size();
+  Matching result;
+  result.mate.assign(static_cast<size_t>(n), -1);
+  if (n < 2) return result;
+
+  detail::BlossomMatcher matcher(n);
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double w = graph.weight(u, v);
+      if (w > 0) {
+        const auto scaled = static_cast<std::int64_t>(
+            std::llround(w * kWeightScale));
+        matcher.set_weight(u, v, std::max<std::int64_t>(scaled, 1));
+      }
+    }
+  }
+  std::int64_t unused = 0;
+  result.mate = matcher.solve(unused);
+  result.weight = graph.matching_weight(result);
+  for (int v = 0; v < n; ++v) {
+    if (result.mate[static_cast<size_t>(v)] > v) ++result.pairs;
+  }
+  return result;
+}
+
+Matching greedy_matching(const DenseGraph& graph) {
+  const int n = graph.size();
+  Matching result;
+  result.mate.assign(static_cast<size_t>(n), -1);
+
+  struct E {
+    double w;
+    int u, v;
+  };
+  std::vector<E> edges;
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 1; v < n; ++v) {
+      const double w = graph.weight(u, v);
+      if (w > 0) edges.push_back({w, u, v});
+    }
+  }
+  std::sort(edges.begin(), edges.end(), [](const E& a, const E& b) {
+    if (a.w != b.w) return a.w > b.w;
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  });
+  for (const E& e : edges) {
+    if (result.mate[static_cast<size_t>(e.u)] < 0 &&
+        result.mate[static_cast<size_t>(e.v)] < 0) {
+      result.mate[static_cast<size_t>(e.u)] = e.v;
+      result.mate[static_cast<size_t>(e.v)] = e.u;
+      result.weight += e.w;
+      ++result.pairs;
+    }
+  }
+  return result;
+}
+
+}  // namespace muri

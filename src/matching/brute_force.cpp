@@ -1,0 +1,59 @@
+#include "matching/brute_force.h"
+
+#include <cassert>
+
+namespace muri {
+
+Matching brute_force_matching(const DenseGraph& graph) {
+  const int n = graph.size();
+  assert(n <= 24 && "brute force matching is exponential");
+  Matching result;
+  result.mate.assign(static_cast<size_t>(n), -1);
+  if (n < 2) return result;
+
+  const int full = (1 << n) - 1;
+  // best[mask]: max weight matching among nodes in mask.
+  std::vector<double> best(static_cast<size_t>(full) + 1, 0.0);
+  // partner[mask]: for the lowest node in mask, its chosen partner or -1.
+  std::vector<int> partner(static_cast<size_t>(full) + 1, -1);
+
+  for (int mask = 1; mask <= full; ++mask) {
+    int low = 0;
+    while (!(mask & (1 << low))) ++low;
+    // Option 1: leave `low` unmatched.
+    best[static_cast<size_t>(mask)] =
+        best[static_cast<size_t>(mask ^ (1 << low))];
+    partner[static_cast<size_t>(mask)] = -1;
+    // Option 2: match `low` with any other node in mask.
+    for (int v = low + 1; v < n; ++v) {
+      if (!(mask & (1 << v))) continue;
+      const double w = graph.weight(low, v);
+      if (w <= 0) continue;
+      const double cand =
+          best[static_cast<size_t>(mask ^ (1 << low) ^ (1 << v))] + w;
+      if (cand > best[static_cast<size_t>(mask)]) {
+        best[static_cast<size_t>(mask)] = cand;
+        partner[static_cast<size_t>(mask)] = v;
+      }
+    }
+  }
+
+  result.weight = best[static_cast<size_t>(full)];
+  int mask = full;
+  while (mask != 0) {
+    int low = 0;
+    while (!(mask & (1 << low))) ++low;
+    const int p = partner[static_cast<size_t>(mask)];
+    if (p < 0) {
+      mask ^= 1 << low;
+    } else {
+      result.mate[static_cast<size_t>(low)] = p;
+      result.mate[static_cast<size_t>(p)] = low;
+      ++result.pairs;
+      mask ^= (1 << low) | (1 << p);
+    }
+  }
+  return result;
+}
+
+}  // namespace muri

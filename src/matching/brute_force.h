@@ -1,0 +1,85 @@
+// Exact matchers by exhaustive dynamic programming. Exponential in the
+// number of nodes; usable up to ~20 nodes for pairs and ~16 for hypergroups.
+// These serve as optimality oracles for the Blossom implementation and for
+// measuring the optimality gap of the multi-round grouping heuristic.
+#pragma once
+
+#include <vector>
+
+#include "matching/graph.h"
+
+namespace muri {
+
+// Exact maximum weight matching by bitmask DP in O(2^n * n). n <= 24.
+Matching brute_force_matching(const DenseGraph& graph);
+
+// A grouping of n items into disjoint groups (each of size >= 1).
+struct Grouping {
+  std::vector<std::vector<int>> groups;
+  double weight = 0;
+};
+
+// Weight oracle for a candidate group (by member indices, sorted).
+using GroupWeightFn = double (*)(const std::vector<int>&, const void*);
+
+// Exact maximum-weight partition of n items into groups of size at most
+// `max_group`, where the value of a group is given by `weight_of`
+// (singletons score 0). Bitmask DP over subsets: O(3^n) worst case, usable
+// for n <= 16. This is the hypergraph-matching optimum the paper calls
+// NP-hard (§4.2), used to quantify the multi-round heuristic's gap.
+template <typename WeightFn>
+Grouping brute_force_grouping(int n, int max_group, WeightFn&& weight_of);
+
+// --- template definition ---
+
+template <typename WeightFn>
+Grouping brute_force_grouping(int n, int max_group, WeightFn&& weight_of) {
+  const int full = (1 << n) - 1;
+  std::vector<double> best(static_cast<size_t>(full) + 1, 0.0);
+  std::vector<int> choice(static_cast<size_t>(full) + 1, 0);
+
+  // Pre-enumerate candidate groups of size 2..max_group.
+  std::vector<std::pair<int, double>> candidates;  // (mask, weight)
+  for (int mask = 1; mask <= full; ++mask) {
+    const int bits = __builtin_popcount(static_cast<unsigned>(mask));
+    if (bits < 2 || bits > max_group) continue;
+    std::vector<int> members;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) members.push_back(i);
+    }
+    const double w = weight_of(members);
+    if (w > 0) candidates.emplace_back(mask, w);
+  }
+
+  for (int mask = 1; mask <= full; ++mask) {
+    // Option: lowest set bit stays a singleton.
+    const int low = mask & (-mask);
+    best[static_cast<size_t>(mask)] = best[static_cast<size_t>(mask ^ low)];
+    choice[static_cast<size_t>(mask)] = low;
+    for (const auto& [gmask, w] : candidates) {
+      if ((gmask & mask) != gmask) continue;
+      if ((gmask & low) == 0) continue;  // canonical: group contains low bit
+      const double cand = best[static_cast<size_t>(mask ^ gmask)] + w;
+      if (cand > best[static_cast<size_t>(mask)]) {
+        best[static_cast<size_t>(mask)] = cand;
+        choice[static_cast<size_t>(mask)] = gmask;
+      }
+    }
+  }
+
+  Grouping result;
+  result.weight = best[static_cast<size_t>(full)];
+  int mask = full;
+  while (mask != 0) {
+    const int gmask = choice[static_cast<size_t>(mask)];
+    std::vector<int> members;
+    for (int i = 0; i < n; ++i) {
+      if (gmask & (1 << i)) members.push_back(i);
+    }
+    result.groups.push_back(std::move(members));
+    mask ^= gmask;
+  }
+  return result;
+}
+
+}  // namespace muri

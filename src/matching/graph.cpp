@@ -1,0 +1,57 @@
+#include "matching/graph.h"
+
+#include <cstddef>
+
+#include <cassert>
+
+namespace muri {
+
+DenseGraph::DenseGraph(int n) : n_(n), w_(static_cast<size_t>(n) * n, 0.0) {
+  assert(n >= 0);
+}
+
+void DenseGraph::set_weight(int u, int v, double w) {
+  assert(u >= 0 && u < n_ && v >= 0 && v < n_);
+  if (u == v) return;
+  w_[static_cast<size_t>(u) * n_ + v] = w;
+  w_[static_cast<size_t>(v) * n_ + u] = w;
+}
+
+double DenseGraph::weight(int u, int v) const {
+  assert(u >= 0 && u < n_ && v >= 0 && v < n_);
+  return w_[static_cast<size_t>(u) * n_ + v];
+}
+
+int DenseGraph::edge_count() const {
+  int count = 0;
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      if (has_edge(u, v)) ++count;
+    }
+  }
+  return count;
+}
+
+bool DenseGraph::validate(const Matching& m) const {
+  if (static_cast<int>(m.mate.size()) != n_) return false;
+  for (int v = 0; v < n_; ++v) {
+    const int p = m.mate[static_cast<size_t>(v)];
+    if (p < -1 || p >= n_ || p == v) return false;
+    if (p >= 0) {
+      if (m.mate[static_cast<size_t>(p)] != v) return false;
+      if (!has_edge(v, p)) return false;
+    }
+  }
+  return true;
+}
+
+double DenseGraph::matching_weight(const Matching& m) const {
+  double total = 0;
+  for (int v = 0; v < n_; ++v) {
+    const int p = m.mate[static_cast<size_t>(v)];
+    if (p > v) total += weight(v, p);
+  }
+  return total;
+}
+
+}  // namespace muri

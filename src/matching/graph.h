@@ -1,0 +1,58 @@
+// Dense undirected weighted graph used by the grouping algorithms.
+//
+// Muri builds a complete graph over the queued jobs where the weight of
+// edge (u, v) is the interleaving efficiency of grouping jobs u and v
+// (§4.1). Queue sizes are bounded by what can fill the cluster, so a dense
+// representation is both the simplest and the fastest here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace muri {
+
+// Result of a matching computation over a graph with n nodes.
+struct Matching {
+  // mate[v] is the matched partner of v, or -1 if v is unmatched.
+  std::vector<int> mate;
+  // Sum of the weights of matched edges.
+  double weight = 0;
+  // Number of matched pairs.
+  int pairs = 0;
+
+  bool is_matched(int v) const { return mate[static_cast<size_t>(v)] >= 0; }
+};
+
+// Validates the symmetry invariant mate[mate[v]] == v and recomputes the
+// weight/pair counters from a graph. Used by tests.
+class DenseGraph {
+ public:
+  explicit DenseGraph(int n);
+
+  int size() const noexcept { return n_; }
+
+  // Sets the weight of undirected edge (u, v). Weights <= 0 mean "no edge".
+  // Self-loops are ignored.
+  void set_weight(int u, int v, double w);
+
+  double weight(int u, int v) const;
+
+  bool has_edge(int u, int v) const { return weight(u, v) > 0; }
+
+  // Number of edges with positive weight.
+  int edge_count() const;
+
+  // True if `m` is a valid matching of this graph: partner symmetry holds
+  // and every matched pair is an existing edge.
+  bool validate(const Matching& m) const;
+
+  // Recomputes the total weight of matching `m` against this graph.
+  double matching_weight(const Matching& m) const;
+
+ private:
+  int n_;
+  std::vector<double> w_;  // row-major n*n
+};
+
+}  // namespace muri

@@ -1,0 +1,54 @@
+#include "profiler/profiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace muri {
+
+ResourceProfiler::ResourceProfiler() : ResourceProfiler(Options{}) {}
+
+ResourceProfiler::ResourceProfiler(Options options)
+    : options_(options), rng_(options.seed) {
+  assert(options_.noise >= 0.0 && options_.noise <= 1.0);
+  assert(options_.dry_run_iterations > 0);
+}
+
+IterationProfile ResourceProfiler::profile(const Job& job) {
+  const auto key = std::make_pair(job.model, job.num_gpus);
+  if (options_.cache_by_model) {
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  IterationProfile measured = measure(job);
+  if (options_.cache_by_model) cache_.emplace(key, measured);
+  return measured;
+}
+
+IterationProfile ResourceProfiler::measure(const Job& job) {
+  ++sessions_;
+  profiling_time_ +=
+      options_.dry_run_iterations * job.profile.iteration_time();
+
+  IterationProfile measured = job.profile;
+  if (options_.noise > 0) {
+    for (int j = 0; j < kNumResources; ++j) {
+      const double factor =
+          rng_.uniform(1.0 - options_.noise, 1.0 + options_.noise);
+      measured.stage_time[static_cast<size_t>(j)] *= factor;
+    }
+  }
+  // Threshold filter (§4.2): drop stages too short to matter so the
+  // ordering search does not chase noise.
+  const Duration iter = measured.iteration_time();
+  for (int j = 0; j < kNumResources; ++j) {
+    if (measured.stage_time[static_cast<size_t>(j)] <
+        options_.zero_threshold * iter) {
+      measured.stage_time[static_cast<size_t>(j)] = 0;
+    }
+  }
+  return measured;
+}
+
+void ResourceProfiler::clear_cache() { cache_.clear(); }
+
+}  // namespace muri

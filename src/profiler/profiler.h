@@ -1,0 +1,64 @@
+// Resource profiler (§3, §5): measures the per-stage durations of a job by
+// dry-running a few iterations, caches the result per model so re-submitted
+// models skip profiling, and optionally injects measurement noise — the
+// n_p ∈ [0, 1] multiplicative factor of the Fig. 14 sensitivity study.
+//
+// Schedulers must consume profiles exclusively through this class; the
+// ground-truth Job::profile is reserved for the execution engine.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/rng.h"
+#include "job/job.h"
+
+namespace muri {
+
+class ResourceProfiler {
+ public:
+  struct Options {
+    // Profiling noise n_p: each stage duration is multiplied by an
+    // independent uniform factor in [1 - noise, 1 + noise] (§6.4).
+    double noise = 0.0;
+    std::uint64_t seed = 7;
+    // Reuse the profile of a previously profiled (model, gpu-count) pair
+    // (§3: "the resource profile collected in the past can be reused").
+    bool cache_by_model = true;
+    // Stages shorter than this fraction of the iteration are filtered to
+    // zero (§4.2 "filter the resource usage ... below a threshold").
+    double zero_threshold = 0.005;
+    // Number of dry-run iterations per profiling session; affects only the
+    // reported profiling cost, the measured means are what the zoo defines.
+    int dry_run_iterations = 20;
+  };
+
+  ResourceProfiler();
+  explicit ResourceProfiler(Options options);
+
+  // Returns the (possibly noisy) measured iteration profile of `job`.
+  IterationProfile profile(const Job& job);
+
+  void clear_cache();
+
+  // Number of dry-run sessions actually executed (cache misses).
+  int sessions() const noexcept { return sessions_; }
+
+  // Total simulated seconds spent dry-running (§5 argues this is
+  // negligible; the metric lets benches verify that claim).
+  Duration profiling_time() const noexcept { return profiling_time_; }
+
+  const Options& options() const noexcept { return options_; }
+
+ private:
+  IterationProfile measure(const Job& job);
+
+  Options options_;
+  Rng rng_;
+  std::map<std::pair<ModelKind, int>, IterationProfile> cache_;
+  int sessions_ = 0;
+  Duration profiling_time_ = 0;
+};
+
+}  // namespace muri

@@ -1,0 +1,137 @@
+#include "runtime/executor.h"
+
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace muri::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Occupies the stage's resource for `seconds`. The resource token (mutex)
+// models exclusivity; the thread itself sleeps for longer stages so that
+// grouped jobs overlap even on a single-core host, and spins only for
+// sub-2ms stages where sleep granularity would distort timing.
+void work_for(double seconds) {
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(seconds));
+  if (seconds > 2e-3) {
+    std::this_thread::sleep_until(deadline);
+    return;
+  }
+  while (Clock::now() < deadline) {
+    // Spin; the stage is "in use".
+  }
+}
+
+struct Resources {
+  std::array<std::mutex, kNumResources> tokens;
+};
+
+}  // namespace
+
+ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
+                     const ExecOptions& options) {
+  assert(!jobs.empty());
+  const auto p = jobs.size();
+
+  Resources resources;
+  std::atomic<bool> stop{false};
+
+  // Completion step flips the stop flag once the window has elapsed, so
+  // all members leave the phase loop together after a whole round.
+  const Clock::time_point t_end =
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(options.run_for));
+  auto on_phase_complete = [&stop, t_end]() noexcept {
+    if (Clock::now() >= t_end) stop.store(true, std::memory_order_relaxed);
+  };
+  std::barrier phase_barrier(static_cast<std::ptrdiff_t>(p),
+                             on_phase_complete);
+
+  std::vector<ExecJobResult> results(p);
+  std::vector<std::thread> threads;
+  threads.reserve(p);
+
+  for (size_t i = 0; i < p; ++i) {
+    threads.emplace_back([&, i] {
+      const ExecJobSpec& spec = jobs[i];
+      ExecJobResult& out = results[i];
+      out.name = spec.name;
+      const Clock::time_point t_start = Clock::now();
+
+      // Rotation axis: the planner's slots, or all four resources.
+      std::vector<Resource> slots = options.slots;
+      if (slots.empty()) {
+        slots.assign(kAllResources.begin(), kAllResources.end());
+      }
+      const int s = static_cast<int>(slots.size());
+
+      if (options.coordinate) {
+        // Phase-locked rotation: in phase `ph`, use slot
+        // (offset + ph) mod S; barrier after every phase (§4.1).
+        while (!stop.load(std::memory_order_relaxed)) {
+          for (int ph = 0; ph < s; ++ph) {
+            const auto r = static_cast<int>(
+                slots[static_cast<size_t>((spec.offset + ph) % s)]);
+            const Duration t = spec.profile[static_cast<size_t>(r)];
+            if (t > 0) {
+              std::scoped_lock lock(
+                  resources.tokens[static_cast<size_t>(r)]);
+              work_for(t * options.time_scale);
+            }
+            phase_barrier.arrive_and_wait();
+          }
+          ++out.iterations;
+        }
+        phase_barrier.arrive_and_drop();
+      } else {
+        // Free-running: natural stage order, contending on tokens.
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (Clock::now() >= t_end) {
+            stop.store(true, std::memory_order_relaxed);
+            break;
+          }
+          for (int r = 0; r < kNumResources; ++r) {
+            const Duration t = spec.profile[static_cast<size_t>(r)];
+            if (t > 0) {
+              std::scoped_lock lock(
+                  resources.tokens[static_cast<size_t>(r)]);
+              work_for(t * options.time_scale);
+            }
+          }
+          ++out.iterations;
+        }
+      }
+
+      out.wall_seconds =
+          std::chrono::duration<double>(Clock::now() - t_start).count();
+      if (out.wall_seconds > 0 && options.time_scale > 0) {
+        // iterations per simulated second: simulated time elapsed is
+        // wall_seconds / time_scale.
+        out.sim_throughput = static_cast<double>(out.iterations) *
+                             options.time_scale / out.wall_seconds;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  ExecResult result;
+  result.jobs = std::move(results);
+  return result;
+}
+
+ExecJobResult run_solo(const ExecJobSpec& job, const ExecOptions& options) {
+  ExecOptions solo = options;
+  solo.coordinate = false;  // no partners, so coordination is moot
+  return run_group({job}, solo).jobs.front();
+}
+
+}  // namespace muri::runtime

@@ -1,0 +1,170 @@
+#include "scheduler/baselines.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace muri {
+
+TiresiasScheduler::TiresiasScheduler() : TiresiasScheduler(Options{}) {}
+
+AntManScheduler::AntManScheduler() : AntManScheduler(Options{}) {}
+
+void sort_groups_for_placement(std::vector<PlannedGroup>& groups) {
+  std::stable_sort(groups.begin(), groups.end(),
+                   [](const PlannedGroup& a, const PlannedGroup& b) {
+                     return a.num_gpus > b.num_gpus;
+                   });
+}
+
+std::vector<PlannedGroup> exclusive_plan(const std::vector<JobView>& ordered,
+                                         int total_gpus) {
+  std::vector<PlannedGroup> plan;
+  int budget = total_gpus;
+  for (const JobView& v : ordered) {
+    if (v.num_gpus <= budget) {
+      PlannedGroup g;
+      g.members = {v.id};
+      g.num_gpus = v.num_gpus;
+      g.mode = GroupMode::kExclusive;
+      plan.push_back(std::move(g));
+      budget -= v.num_gpus;
+    }
+    if (budget == 0) break;
+  }
+  sort_groups_for_placement(plan);
+  return plan;
+}
+
+std::vector<PlannedGroup> FifoScheduler::schedule(
+    const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  auto ordered = sorted_by_priority(
+      queue, [](const JobView& v) { return v.submit_time; });
+  return exclusive_plan(ordered, ctx.total_gpus);
+}
+
+std::vector<PlannedGroup> SrtfScheduler::schedule(
+    const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  auto ordered = sorted_by_priority(
+      queue, [](const JobView& v) { return v.remaining_time; });
+  return exclusive_plan(ordered, ctx.total_gpus);
+}
+
+std::vector<PlannedGroup> SrsfScheduler::schedule(
+    const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  auto ordered = sorted_by_priority(queue, [](const JobView& v) {
+    return v.remaining_time * static_cast<double>(v.num_gpus);
+  });
+  return exclusive_plan(ordered, ctx.total_gpus);
+}
+
+std::vector<PlannedGroup> TiresiasScheduler::schedule(
+    const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  // Discretized 2D-LAS: bucket by attained GPU-time, FIFO within a bucket.
+  const auto& thresholds = options_.queue_thresholds;
+  auto ordered = sorted_by_priority(queue, [&](const JobView& v) {
+    std::size_t level = 0;
+    while (level < thresholds.size() &&
+           v.attained_service >= thresholds[level]) {
+      ++level;
+    }
+    // Level dominates; submit time breaks ties inside a level (FIFO).
+    return static_cast<double>(level) * 1e18 + v.submit_time;
+  });
+  return exclusive_plan(ordered, ctx.total_gpus);
+}
+
+std::vector<PlannedGroup> ThemisScheduler::schedule(
+    const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  // Finish-time-fairness approximation: a job's fairness deficit is its
+  // age divided by the service it has attained (normalized per GPU).
+  // Jobs with a large deficit (starved relative to their age) run first.
+  auto ordered = sorted_by_priority(queue, [](const JobView& v) {
+    const double per_gpu_service =
+        v.attained_service / static_cast<double>(v.num_gpus);
+    const double deficit = (v.age + 1.0) / (per_gpu_service + 1.0);
+    return -deficit;
+  });
+  return exclusive_plan(ordered, ctx.total_gpus);
+}
+
+std::vector<PlannedGroup> AntManScheduler::schedule(
+    const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  // Drop completed jobs from persistent state.
+  std::map<JobId, const JobView*> alive;
+  for (const JobView& v : queue) alive.emplace(v.id, &v);
+
+  for (auto it = groups_.begin(); it != groups_.end();) {
+    auto& members = it->second;
+    members.erase(std::remove_if(members.begin(), members.end(),
+                                 [&](JobId id) { return !alive.count(id); }),
+                  members.end());
+    if (members.empty()) {
+      it = groups_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Re-anchor groups whose primary finished.
+  std::map<JobId, std::vector<JobId>> rebuilt;
+  for (auto& [primary, members] : groups_) {
+    rebuilt.emplace(members.front(), members);
+  }
+  groups_ = std::move(rebuilt);
+
+  auto gpus_needed = [&](const std::vector<JobId>& members) {
+    int need = 0;
+    for (JobId id : members) {
+      need = std::max(need, alive.at(id)->num_gpus);
+    }
+    return need;
+  };
+
+  int used = 0;
+  std::vector<JobId> admitted;
+  for (const auto& [primary, members] : groups_) {
+    used += gpus_needed(members);
+    for (JobId id : members) admitted.push_back(id);
+  }
+
+  // Admit pending jobs in FIFO order: exclusive GPUs if available,
+  // otherwise opportunistically co-locate with a running group of the same
+  // GPU demand that still has sharing headroom.
+  auto ordered = sorted_by_priority(
+      queue, [](const JobView& v) { return v.submit_time; });
+  for (const JobView& v : ordered) {
+    if (std::find(admitted.begin(), admitted.end(), v.id) != admitted.end()) {
+      continue;
+    }
+    if (v.num_gpus <= ctx.total_gpus - used) {
+      groups_[v.id] = {v.id};
+      used += v.num_gpus;
+      admitted.push_back(v.id);
+      continue;
+    }
+    for (auto& [primary, members] : groups_) {
+      if (static_cast<int>(members.size()) < options_.max_sharing &&
+          gpus_needed(members) == v.num_gpus) {
+        members.push_back(v.id);
+        admitted.push_back(v.id);
+        break;
+      }
+    }
+  }
+
+  std::vector<PlannedGroup> plan;
+  plan.reserve(groups_.size());
+  for (const auto& [primary, members] : groups_) {
+    PlannedGroup g;
+    g.members = members;
+    g.num_gpus = gpus_needed(members);
+    g.mode = members.size() == 1 ? GroupMode::kExclusive
+                                 : GroupMode::kUncoordinated;
+    plan.push_back(std::move(g));
+  }
+  // Non-preemptive: keep existing groups ahead of placement pressure by
+  // *not* re-sorting; insertion order (map by primary id) is stable and
+  // the simulator places in plan order.
+  return plan;
+}
+
+}  // namespace muri

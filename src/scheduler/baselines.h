@@ -1,0 +1,100 @@
+// Baseline schedulers the paper compares against (§6.1):
+//
+//  - FIFO: arrival order, exclusive GPUs.
+//  - SRTF: shortest remaining (solo) time first.
+//  - SRSF: shortest remaining *service* first — remaining time × GPUs,
+//    Tiresias' duration-aware variant.
+//  - Tiresias: 2D-LAS — least attained GPU-time first, with priority
+//    discretization into queues to limit preemption churn.
+//  - Themis: duration-unaware finish-time-fairness approximation — jobs
+//    that have received the least service relative to their age run first.
+//  - AntMan: non-preemptive FIFO with opportunistic, uncoordinated GPU
+//    sharing (at most two jobs per GPU set).
+//
+// All preemptive baselines allocate GPUs exclusively per job and order
+// placement by descending GPU demand (§5).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+
+namespace muri {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "FIFO"; }
+  std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
+                                     const SchedulerContext& ctx) override;
+};
+
+class SrtfScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "SRTF"; }
+  bool needs_durations() const override { return true; }
+  std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
+                                     const SchedulerContext& ctx) override;
+};
+
+class SrsfScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "SRSF"; }
+  bool needs_durations() const override { return true; }
+  std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
+                                     const SchedulerContext& ctx) override;
+};
+
+class TiresiasScheduler final : public Scheduler {
+ public:
+  struct Options {
+    // Attained-GPU-time thresholds (seconds × GPUs) separating the
+    // discretized priority queues; within a queue, FIFO by submit time.
+    std::vector<double> queue_thresholds = {3600.0, 4 * 3600.0};
+  };
+  TiresiasScheduler();
+  explicit TiresiasScheduler(Options options) : options_(std::move(options)) {}
+  std::string name() const override { return "Tiresias"; }
+  std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
+                                     const SchedulerContext& ctx) override;
+
+ private:
+  Options options_;
+};
+
+class ThemisScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Themis"; }
+  std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
+                                     const SchedulerContext& ctx) override;
+};
+
+class AntManScheduler final : public Scheduler {
+ public:
+  struct Options {
+    // Maximum jobs co-located on one GPU set.
+    int max_sharing = 2;
+  };
+  AntManScheduler();
+  explicit AntManScheduler(Options options) : options_(options) {}
+  std::string name() const override { return "AntMan"; }
+  std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
+                                     const SchedulerContext& ctx) override;
+
+ private:
+  Options options_;
+  // Persistent assignment: primary job id -> co-located job ids (including
+  // the primary itself, in admission order). Non-preemptive: once admitted,
+  // a job stays until completion.
+  std::map<JobId, std::vector<JobId>> groups_;
+};
+
+// Turns a priority-ordered queue prefix into exclusive singleton groups,
+// admitting jobs while GPU capacity remains (simple backfilling: keeps
+// scanning past jobs that no longer fit). Shared by the preemptive
+// baselines.
+std::vector<PlannedGroup> exclusive_plan(const std::vector<JobView>& ordered,
+                                         int total_gpus);
+
+}  // namespace muri

@@ -1,0 +1,90 @@
+#include "scheduler/gittins.h"
+
+#include <algorithm>
+
+#include "scheduler/baselines.h"
+
+namespace muri {
+
+GittinsScheduler::GittinsScheduler() : GittinsScheduler(Options{}) {}
+
+void GittinsScheduler::harvest_completions(const std::vector<JobView>& queue) {
+  // A job that was in the queue last round and is gone now has completed;
+  // its final attained service (as of our last sight of it) is a sample of
+  // the service distribution. Rounds are frequent relative to job
+  // lifetimes, so the truncation error is small.
+  std::map<JobId, double> current;
+  for (const JobView& v : queue) current.emplace(v.id, v.attained_service);
+
+  bool changed = false;
+  for (const auto& [id, attained] : last_seen_) {
+    if (!current.count(id) && attained > 0) {
+      samples_.push_back(attained);
+      changed = true;
+    }
+  }
+  last_seen_ = std::move(current);
+
+  if (changed) {
+    if (samples_.size() > options_.max_samples) {
+      samples_.erase(samples_.begin(),
+                     samples_.begin() +
+                         static_cast<std::ptrdiff_t>(samples_.size() -
+                                                     options_.max_samples));
+    }
+    std::sort(samples_.begin(), samples_.end());
+    prefix_.assign(samples_.size() + 1, 0.0);
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+      prefix_[i + 1] = prefix_[i] + samples_[i];
+    }
+  }
+}
+
+double GittinsScheduler::index_of(double attained) const {
+  const auto m = samples_.size();
+  if (m == 0) return 0;
+  // First sample strictly above the attained service.
+  const auto begin = static_cast<std::size_t>(
+      std::upper_bound(samples_.begin(), samples_.end(), attained) -
+      samples_.begin());
+  const auto n = m - begin;
+  if (n == 0) return 0;
+
+  // For quantile cut k (finish within Δ = s[k] - attained):
+  //   P = (k - begin + 1) / n
+  //   E·n = Σ_{j=begin..k} (s[j] - a) + (m - 1 - k)·Δ
+  // G = max_k P / E = max_k (k - begin + 1) / (E·n).
+  double best = 0;
+  for (std::size_t k = begin; k < m; ++k) {
+    const double delta = samples_[k] - attained;
+    if (delta <= 0) continue;
+    const double sum_low = prefix_[k + 1] - prefix_[begin] -
+                           static_cast<double>(k - begin + 1) * attained;
+    const double e_total =
+        sum_low + static_cast<double>(m - 1 - k) * delta;
+    if (e_total <= 0) continue;
+    best = std::max(best, static_cast<double>(k - begin + 1) / e_total);
+  }
+  return best;
+}
+
+std::vector<PlannedGroup> GittinsScheduler::schedule(
+    const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  harvest_completions(queue);
+
+  std::vector<JobView> ordered;
+  if (samples_.size() < options_.min_samples) {
+    // Bootstrap: 2D-LAS until the distribution is trustworthy.
+    ordered = sorted_by_priority(
+        queue, [](const JobView& v) { return v.attained_service; });
+  } else {
+    ordered = sorted_by_priority(queue, [&](const JobView& v) {
+      // Higher Gittins index runs first; jobs beyond every observed
+      // completion get index 0 and sink to the back (LAS-like demotion).
+      return -index_of(v.attained_service);
+    });
+  }
+  return exclusive_plan(ordered, ctx.total_gpus);
+}
+
+}  // namespace muri

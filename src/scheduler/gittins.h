@@ -1,0 +1,60 @@
+// 2D-Gittins index scheduler — Tiresias' policy for the regime where job
+// durations are unknown but their *distribution* is learnable (Gu et al.,
+// NSDI'19; the Muri paper cites it as the third Tiresias variant next to
+// SRSF and 2D-LAS).
+//
+// The scheduler learns an empirical distribution of total job service
+// (GPU-seconds) from jobs it has seen complete, and ranks each queued job
+// by its Gittins index at its attained service a:
+//
+//   G(a) = max_Δ  P(S - a ≤ Δ | S > a) / E[min(S - a, Δ) | S > a]
+//
+// i.e. the best probability-of-finishing-soon per unit of expected
+// investment. Higher index runs first. Until enough completions have been
+// observed the policy degrades gracefully to 2D-LAS.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "scheduler/scheduler.h"
+
+namespace muri {
+
+class GittinsScheduler final : public Scheduler {
+ public:
+  struct Options {
+    // Cap on retained service samples (oldest evicted first).
+    std::size_t max_samples = 1024;
+    // Completions required before the index replaces 2D-LAS.
+    std::size_t min_samples = 8;
+  };
+
+  GittinsScheduler();
+  explicit GittinsScheduler(Options options) : options_(options) {}
+
+  std::string name() const override { return "Gittins"; }
+
+  std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
+                                     const SchedulerContext& ctx) override;
+
+  // Gittins index of a job with attained service `a` against the current
+  // empirical distribution; exposed for tests. Returns 0 when the suffix
+  // {S > a} is empty (the job outlived every observed completion).
+  double index_of(double attained) const;
+
+  std::size_t samples() const noexcept { return samples_.size(); }
+
+ private:
+  void harvest_completions(const std::vector<JobView>& queue);
+
+  Options options_;
+  // Sorted ascending; rebuilt lazily each round after harvesting.
+  std::vector<double> samples_;
+  std::vector<double> prefix_;  // prefix sums of samples_
+  // attained service of every job seen last round (to detect departures).
+  std::map<JobId, double> last_seen_;
+};
+
+}  // namespace muri

@@ -1,0 +1,274 @@
+#include "scheduler/muri.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "matching/blossom.h"
+
+namespace muri {
+
+namespace {
+
+struct GroupNode {
+  std::vector<int> members;  // indices into the bucket's profile array
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> multi_round_grouping(
+    const std::vector<ResourceVector>& profiles, int max_group_size,
+    std::int64_t* matchings_run) {
+  assert(max_group_size >= 1);
+  std::vector<GroupNode> nodes;
+  nodes.reserve(profiles.size());
+  for (int i = 0; i < static_cast<int>(profiles.size()); ++i) {
+    nodes.push_back({{i}});
+  }
+  // Interleaving efficiency of the union of two nodes' members — the edge
+  // weight of Algorithm 1. For two singletons this is the pairwise γ; for
+  // merged nodes it is the true γ of the group the merge would create
+  // (a super-node "is" its member set, so interleaving two super-nodes
+  // means interleaving all their members).
+  auto union_efficiency = [&](const GroupNode& a, const GroupNode& b) {
+    if (a.members.size() == 1 && b.members.size() == 1) {
+      return pairwise_efficiency(
+          profiles[static_cast<size_t>(a.members[0])],
+          profiles[static_cast<size_t>(b.members[0])]);
+    }
+    std::vector<ResourceVector> group;
+    group.reserve(a.members.size() + b.members.size());
+    for (int idx : a.members) group.push_back(profiles[static_cast<size_t>(idx)]);
+    for (int idx : b.members) group.push_back(profiles[static_cast<size_t>(idx)]);
+    return plan_interleave(group).efficiency;
+  };
+  if (max_group_size == 1 || nodes.size() < 2) {
+    std::vector<std::vector<int>> singletons;
+    for (auto& node : nodes) singletons.push_back(std::move(node.members));
+    return singletons;
+  }
+
+  const int rounds = static_cast<int>(
+      std::ceil(std::log2(static_cast<double>(max_group_size))));
+  for (int round = 0; round < rounds; ++round) {
+    const int n = static_cast<int>(nodes.size());
+    if (n < 2) break;
+
+    DenseGraph graph(n);
+    bool any_edge = false;
+    for (int u = 0; u < n; ++u) {
+      for (int v = u + 1; v < n; ++v) {
+        const int combined =
+            static_cast<int>(nodes[static_cast<size_t>(u)].members.size() +
+                             nodes[static_cast<size_t>(v)].members.size());
+        if (combined > max_group_size) continue;
+        const double gamma = union_efficiency(nodes[static_cast<size_t>(u)],
+                                              nodes[static_cast<size_t>(v)]);
+        if (gamma > 0) {
+          graph.set_weight(u, v, gamma);
+          any_edge = true;
+        }
+      }
+    }
+    if (!any_edge) break;
+
+    const Matching matching = max_weight_matching(graph);
+    if (matchings_run != nullptr) ++*matchings_run;
+    if (matching.pairs == 0) break;
+
+    std::vector<GroupNode> next;
+    next.reserve(nodes.size());
+    std::vector<bool> consumed(static_cast<size_t>(n), false);
+    for (int u = 0; u < n; ++u) {
+      if (consumed[static_cast<size_t>(u)]) continue;
+      const int v = matching.mate[static_cast<size_t>(u)];
+      if (v >= 0) {
+        consumed[static_cast<size_t>(u)] = true;
+        consumed[static_cast<size_t>(v)] = true;
+        GroupNode merged;
+        merged.members = nodes[static_cast<size_t>(u)].members;
+        merged.members.insert(merged.members.end(),
+                              nodes[static_cast<size_t>(v)].members.begin(),
+                              nodes[static_cast<size_t>(v)].members.end());
+        next.push_back(std::move(merged));
+      } else {
+        consumed[static_cast<size_t>(u)] = true;
+        next.push_back(std::move(nodes[static_cast<size_t>(u)]));
+      }
+    }
+    nodes = std::move(next);
+  }
+
+  std::vector<std::vector<int>> groups;
+  groups.reserve(nodes.size());
+  for (auto& node : nodes) groups.push_back(std::move(node.members));
+  return groups;
+}
+
+MuriScheduler::MuriScheduler(MuriOptions options) : options_(options) {
+  assert(options_.max_group_size >= 1 &&
+         options_.max_group_size <= kNumResources);
+}
+
+std::string MuriScheduler::name() const {
+  std::string n = options_.durations_known ? "Muri-S" : "Muri-L";
+  if (options_.max_group_size != 4) {
+    n += "-" + std::to_string(options_.max_group_size);
+  }
+  if (options_.ordering == OrderingPolicy::kWorst) n += "-worstorder";
+  if (!options_.use_blossom) n += "-noblossom";
+  if (!options_.bucket_by_gpu) n += "-nobucket";
+  return n;
+}
+
+double MuriScheduler::priority_of(const JobView& v) const {
+  // Lower value = higher priority (§4.2 "Optimizing for average JCT").
+  if (options_.durations_known) {
+    return v.remaining_time * static_cast<double>(v.num_gpus);  // SRSF
+  }
+  return v.attained_service;  // 2D-LAS (attained GPU-time)
+}
+
+std::vector<PlannedGroup> MuriScheduler::schedule(
+    const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  auto ordered =
+      sorted_by_priority(queue, [&](const JobView& v) { return priority_of(v); });
+
+  // Uncontended cluster: exclusive allocation beats interleaving (no
+  // sharing benefit, only overhead), so fall back to plain priority
+  // scheduling.
+  int total_demand = 0;
+  for (const JobView& v : ordered) total_demand += v.num_gpus;
+  if (total_demand <= ctx.total_gpus || options_.max_group_size == 1) {
+    std::vector<PlannedGroup> plan;
+    plan.reserve(ordered.size());
+    for (const JobView& v : ordered) {
+      plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}});
+    }
+    sort_groups_for_placement(plan);
+    return plan;
+  }
+
+  // Candidate prefix: enough jobs to fill the cluster with max-size groups
+  // (Algorithm 1 lines 3-7), bounded by the configured cap.
+  const int gpu_budget = options_.max_group_size * ctx.total_gpus;
+  const int cap =
+      options_.candidate_cap > 0
+          ? options_.candidate_cap
+          : std::min(options_.max_group_size * ctx.total_gpus, 192);
+  std::vector<JobView> candidates;
+  std::vector<JobView> rest;
+  int cum_gpus = 0;
+  for (const JobView& v : ordered) {
+    if (cum_gpus + v.num_gpus <= gpu_budget &&
+        static_cast<int>(candidates.size()) < cap) {
+      candidates.push_back(v);
+      cum_gpus += v.num_gpus;
+    } else {
+      rest.push_back(v);
+    }
+  }
+
+  // Bucket by GPU demand so a distributed job never straddles groups
+  // (§4.2); with bucketing disabled (extension ablation) everything lands
+  // in one bucket.
+  std::map<int, std::vector<int>> buckets;  // gpu demand -> candidate index
+  for (int i = 0; i < static_cast<int>(candidates.size()); ++i) {
+    const int key =
+        options_.bucket_by_gpu ? candidates[static_cast<size_t>(i)].num_gpus : 0;
+    buckets[key].push_back(i);
+  }
+
+  struct Planned {
+    PlannedGroup group;
+    double priority;
+  };
+  std::vector<Planned> planned;
+
+  for (auto& [key, indices] : buckets) {
+    std::vector<ResourceVector> profiles;
+    profiles.reserve(indices.size());
+    for (int idx : indices) {
+      profiles.push_back(
+          candidates[static_cast<size_t>(idx)].measured.stage_time);
+    }
+
+    std::vector<std::vector<int>> groups;
+    if (options_.use_blossom) {
+      groups = multi_round_grouping(profiles, options_.max_group_size,
+                                    &matchings_run_);
+    } else {
+      // Ablation (§6.4): pack jobs with the same GPU requirement
+      // consecutively in descending priority order.
+      std::vector<int> chunk;
+      for (int i = 0; i < static_cast<int>(profiles.size()); ++i) {
+        chunk.push_back(i);
+        if (static_cast<int>(chunk.size()) == options_.max_group_size) {
+          groups.push_back(chunk);
+          chunk.clear();
+        }
+      }
+      if (!chunk.empty()) groups.push_back(chunk);
+    }
+
+    for (const auto& group : groups) {
+      PlannedGroup g;
+      double best_priority = std::numeric_limits<double>::infinity();
+      int max_gpus = 0;
+      std::vector<ResourceVector> member_profiles;
+      for (int local : group) {
+        const JobView& v =
+            candidates[static_cast<size_t>(indices[static_cast<size_t>(local)])];
+        g.members.push_back(v.id);
+        member_profiles.push_back(v.measured.stage_time);
+        best_priority = std::min(best_priority, priority_of(v));
+        max_gpus = std::max(max_gpus, v.num_gpus);
+      }
+      g.num_gpus = max_gpus;
+      if (g.members.size() == 1) {
+        g.mode = GroupMode::kExclusive;
+      } else {
+        g.mode = GroupMode::kInterleaved;
+        InterleavePlan plan = plan_interleave(member_profiles, options_.ordering);
+        g.slots = std::move(plan.slots);
+        g.offsets = std::move(plan.offsets);
+        g.planned_period = plan.period;
+      }
+      planned.push_back({std::move(g), best_priority});
+    }
+  }
+
+  std::stable_sort(planned.begin(), planned.end(),
+                   [](const Planned& a, const Planned& b) {
+                     return a.priority < b.priority;
+                   });
+
+  // Admission under the GPU budget in priority order (a group consumes one
+  // GPU set for all its members — that is the whole point), then §5
+  // placement ordering among the admitted groups. Unadmitted groups and
+  // the jobs beyond the candidate prefix follow as backfill.
+  std::vector<PlannedGroup> admitted;
+  std::vector<PlannedGroup> overflow;
+  int budget = ctx.total_gpus;
+  for (auto& p : planned) {
+    if (p.group.num_gpus <= budget) {
+      budget -= p.group.num_gpus;
+      admitted.push_back(std::move(p.group));
+    } else {
+      overflow.push_back(std::move(p.group));
+    }
+  }
+  sort_groups_for_placement(admitted);
+
+  std::vector<PlannedGroup> plan = std::move(admitted);
+  plan.reserve(plan.size() + overflow.size() + rest.size());
+  for (auto& g : overflow) plan.push_back(std::move(g));
+  for (const JobView& v : rest) {
+    plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}});
+  }
+  return plan;
+}
+
+}  // namespace muri

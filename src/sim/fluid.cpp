@@ -1,0 +1,153 @@
+#include "sim/fluid.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace muri {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// Core solver over raw duty cycles; a duty row of all zeros means "no
+// demand" and gets x = 1.
+std::vector<double> solve_rates(std::vector<ResourceVector> raw_duty,
+                                const FluidOptions& options) {
+  assert(options.inflation >= 1.0);
+  const size_t p = raw_duty.size();
+  std::vector<double> x(p, 0.0);
+  if (p == 0) return x;
+
+  std::vector<bool> frozen(p, false);
+  for (size_t i = 0; i < p; ++i) {
+    if (total(raw_duty[i]) <= kEps) {
+      x[i] = 1.0;
+      frozen[i] = true;
+    }
+  }
+
+  // Per-resource contention: every extra significant user of a resource
+  // inflates all demands on it.
+  std::array<double, kNumResources> resource_inflation;
+  for (int j = 0; j < kNumResources; ++j) {
+    int significant = 0;
+    for (size_t i = 0; i < p; ++i) {
+      if (!frozen[i] &&
+          raw_duty[i][static_cast<size_t>(j)] > options.significant_duty) {
+        ++significant;
+      }
+    }
+    resource_inflation[static_cast<size_t>(j)] =
+        1.0 + options.contention_penalty * std::max(0, significant - 1);
+  }
+
+  std::vector<ResourceVector> duty(p);
+  for (size_t i = 0; i < p; ++i) {
+    if (frozen[i]) continue;
+    for (int j = 0; j < kNumResources; ++j) {
+      duty[i][static_cast<size_t>(j)] =
+          options.inflation * resource_inflation[static_cast<size_t>(j)] *
+          raw_duty[i][static_cast<size_t>(j)];
+    }
+  }
+
+  std::array<double, kNumResources> residual;
+  residual.fill(1.0);
+
+  // Progressive filling: at most p freezes plus k saturations.
+  for (size_t round = 0; round < p + kNumResources + 1; ++round) {
+    // Aggregate active demand per resource and the largest common step.
+    double delta = 2.0;  // > any possible (1 - x_i)
+    bool any_active = false;
+    std::array<double, kNumResources> load{};
+    for (size_t i = 0; i < p; ++i) {
+      if (frozen[i]) continue;
+      any_active = true;
+      delta = std::min(delta, 1.0 - x[i]);
+      for (int j = 0; j < kNumResources; ++j) {
+        load[static_cast<size_t>(j)] += duty[i][static_cast<size_t>(j)];
+      }
+    }
+    if (!any_active) break;
+    for (int j = 0; j < kNumResources; ++j) {
+      if (load[static_cast<size_t>(j)] > kEps) {
+        delta = std::min(delta, residual[static_cast<size_t>(j)] /
+                                    load[static_cast<size_t>(j)]);
+      }
+    }
+    delta = std::max(delta, 0.0);
+
+    for (size_t i = 0; i < p; ++i) {
+      if (!frozen[i]) x[i] += delta;
+    }
+    for (int j = 0; j < kNumResources; ++j) {
+      residual[static_cast<size_t>(j)] -=
+          delta * load[static_cast<size_t>(j)];
+    }
+
+    // Freeze saturated jobs: at solo rate, or touching a drained resource.
+    bool froze_any = false;
+    for (size_t i = 0; i < p; ++i) {
+      if (frozen[i]) continue;
+      bool freeze = x[i] >= 1.0 - 1e-9;
+      for (int j = 0; j < kNumResources && !freeze; ++j) {
+        if (duty[i][static_cast<size_t>(j)] > kEps &&
+            residual[static_cast<size_t>(j)] <= 1e-9) {
+          freeze = true;
+        }
+      }
+      if (freeze) {
+        x[i] = std::min(x[i], 1.0);
+        frozen[i] = true;
+        froze_any = true;
+      }
+    }
+    if (!froze_any && delta <= kEps) {
+      // Numerical stall: freeze everything at current rates.
+      for (size_t i = 0; i < p; ++i) frozen[i] = true;
+    }
+  }
+  for (size_t i = 0; i < p; ++i) x[i] = std::clamp(x[i], 0.0, 1.0);
+  return x;
+}
+
+}  // namespace
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<ResourceVector>& profiles,
+    const FluidOptions& options) {
+  std::vector<ResourceVector> duty(profiles.size());
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const Duration iter = total(profiles[i]);
+    if (iter <= kEps) continue;  // stays all-zero -> x = 1
+    for (int j = 0; j < kNumResources; ++j) {
+      duty[i][static_cast<size_t>(j)] =
+          profiles[i][static_cast<size_t>(j)] / iter;
+    }
+  }
+  return solve_rates(std::move(duty), options);
+}
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<IterationProfile>& profiles,
+    const FluidOptions& options) {
+  std::vector<ResourceVector> duty(profiles.size());
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    const Duration span = profiles[i].iteration_time();
+    if (span <= kEps) continue;
+    for (int j = 0; j < kNumResources; ++j) {
+      duty[i][static_cast<size_t>(j)] =
+          profiles[i].stage_time[static_cast<size_t>(j)] / span;
+    }
+  }
+  return solve_rates(std::move(duty), options);
+}
+
+std::vector<double> max_min_fair_rates(
+    const std::vector<ResourceVector>& profiles, double inflation) {
+  FluidOptions options;
+  options.inflation = inflation;
+  return max_min_fair_rates(profiles, options);
+}
+
+}  // namespace muri

@@ -1,0 +1,61 @@
+// Fluid throughput model for co-located jobs.
+//
+// When p jobs share one set of resources, each job i sustains a normalized
+// rate x_i ∈ (0, 1] of its solo iteration rate. Feasibility requires that
+// no resource is oversubscribed:
+//
+//     Σ_i x_i · d_i^j ≤ 1          for every resource j
+//
+// where d_i^j is job i's inflated duty cycle on resource j. Two inflation
+// terms model what the paper measures:
+//
+//  - a group-wide factor (`inflation`): residual cross-stage interference,
+//    (1 + α(p-1)) for coordinated interleaving or (1+β) for uncoordinated
+//    sharing, times the ordering penalty (simulator.h);
+//  - a per-resource contention factor: when several group members are
+//    *significant* users of the same resource (duty > significant_duty),
+//    every user of that resource pays (1 + contention_penalty) per extra
+//    significant user. This captures why same-bottleneck jobs gain almost
+//    nothing from sharing (§2.1's "half speed" example, Fig. 13's ≈1×
+//    speedup with one job type) while bottleneck-complementary jobs keep
+//    most of their solo rate (Table 2's ShuffleNet at 0.86).
+//
+// Rates are allocated max-min fairly by progressive filling: all unfrozen
+// jobs grow at the same x until a job reaches its solo rate or a resource
+// saturates, then jobs touching the bottleneck freeze.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "job/model.h"
+
+namespace muri {
+
+struct FluidOptions {
+  // Group-wide demand inflation (≥ 1).
+  double inflation = 1.0;
+  // Extra inflation per additional significant user of a resource.
+  double contention_penalty = 0.10;
+  // Duty-cycle threshold above which a job counts as a significant user.
+  double significant_duty = 0.25;
+};
+
+// Returns the max-min fair normalized rates x_i ∈ [0, 1] for jobs with the
+// given solo iteration profiles sharing one resource set. Jobs with an
+// all-zero profile get x = 1. Duty cycles are busy stage time divided by
+// the busy sum.
+std::vector<double> max_min_fair_rates(
+    const std::vector<ResourceVector>& profiles, const FluidOptions& options);
+
+// Preferred overload: duty cycles come from the measured iteration span,
+// so Table 1's idle slack (busy sum < span) leaves sharing headroom.
+std::vector<double> max_min_fair_rates(
+    const std::vector<IterationProfile>& profiles,
+    const FluidOptions& options);
+
+// Convenience overload with default contention modeling.
+std::vector<double> max_min_fair_rates(
+    const std::vector<ResourceVector>& profiles, double inflation);
+
+}  // namespace muri

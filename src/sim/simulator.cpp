@@ -1,0 +1,566 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "interleave/efficiency.h"
+#include "sim/fluid.h"
+
+namespace muri {
+
+namespace {
+
+constexpr double kIterEps = 1e-6;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// A group key identifies "the same running configuration"; jobs whose key
+// changes between rounds pay the restart penalty.
+struct GroupKey {
+  std::vector<JobId> members;  // sorted
+  GroupMode mode = GroupMode::kExclusive;
+  int num_gpus = 0;
+
+  bool operator==(const GroupKey& other) const = default;
+};
+
+struct JobState {
+  const Job* job = nullptr;
+  IterationProfile measured;
+  bool arrived = false;
+  bool finished = false;
+  bool running = false;
+  double done_iterations = 0;
+  double attained_gpu_seconds = 0;
+  Duration ran_wall = 0;  // wall seconds spent placed (for blocking index)
+  Time ready_at = 0;      // progress gate after (re)start
+  Duration period = 0;    // current wall seconds per iteration
+  Time next_fault = 0;    // scheduled failure while running (kInf = none)
+  double group_gamma = 0; // best-case γ of the current group (diagnostic)
+  GroupKey key;           // current group configuration
+
+  Duration remaining_solo() const {
+    return (static_cast<double>(job->iterations) - done_iterations) *
+           job->profile.iteration_time();
+  }
+};
+
+double safe_log2_ratio(int hi, int lo) {
+  return std::log2(static_cast<double>(hi) / static_cast<double>(lo));
+}
+
+}  // namespace
+
+SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
+                         const SimOptions& options) {
+  SimResult result;
+  result.scheduler_name = scheduler.name();
+  result.trace_name = trace.name;
+  if (trace.jobs.empty()) return result;
+
+  Cluster cluster(options.cluster);
+  ResourceProfiler profiler(options.profiler);
+  Rng fault_rng(options.fault_seed);
+  const double fault_rate =
+      options.mtbf_hours > 0 ? 1.0 / (options.mtbf_hours * 3600.0) : 0.0;
+
+  const auto n = trace.jobs.size();
+  std::vector<JobState> states(n);
+  for (size_t i = 0; i < n; ++i) {
+    assert(trace.jobs[i].id == static_cast<JobId>(i) &&
+           "trace job ids must be dense");
+    states[i].job = &trace.jobs[i];
+  }
+
+  // Arrival order.
+  std::vector<size_t> arrival_order(n);
+  for (size_t i = 0; i < n; ++i) arrival_order[i] = i;
+  std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                   [&](size_t a, size_t b) {
+                     return trace.jobs[a].submit_time < trace.jobs[b].submit_time;
+                   });
+
+  size_t next_arrival = 0;
+  size_t finished_count = 0;
+  Time now = trace.jobs[arrival_order[0]].submit_time;
+  Time last_round = now - options.schedule_interval;  // first round fires now
+  bool dirty = false;
+
+  // Metrics accumulators.
+  TimeWeightedAverage queue_avg;
+  TimeWeightedAverage blocking_avg;
+  TimeWeightedAverage running_avg;
+  TimeWeightedAverage width_avg;
+  TimeWeightedAverage rate_avg;
+  TimeWeightedAverage gamma_avg;
+  std::array<TimeWeightedAverage, kNumResources> util_avg;
+  SeriesRecorder queue_series;
+  SeriesRecorder blocking_series;
+  std::array<SeriesRecorder, kNumResources> util_series;
+  result.jcts.reserve(n);
+
+  // Current cluster-level utilization per resource, recomputed on plan
+  // application and on completions.
+  std::array<double, kNumResources> utilization{};
+
+  auto pending_stats = [&](double& queue_len, double& blocking) {
+    queue_len = 0;
+    double blocking_sum = 0;
+    int pending = 0;
+    for (const JobState& s : states) {
+      if (!s.arrived || s.finished || s.running) continue;
+      ++pending;
+      const Duration pending_time =
+          (now - s.job->submit_time) - s.ran_wall;
+      const Duration remaining = std::max(s.remaining_solo(), 1.0);
+      blocking_sum += std::max(pending_time, 0.0) / remaining;
+    }
+    queue_len = pending;
+    blocking = pending > 0 ? blocking_sum / pending : 0.0;
+  };
+
+  auto observe_metrics = [&]() {
+    double queue_len = 0, blocking = 0;
+    pending_stats(queue_len, blocking);
+    queue_avg.observe(now, queue_len);
+    blocking_avg.observe(now, blocking);
+    // Execution-shape diagnostics.
+    {
+      int running = 0;
+      double rate_sum = 0;
+      std::map<std::vector<JobId>, int> groups_seen;
+      for (const JobState& s : states) {
+        if (!s.running) continue;
+        ++running;
+        const Duration iter = s.job->profile.iteration_time();
+        if (s.period > 0) rate_sum += iter / s.period;
+        groups_seen[s.key.members] = static_cast<int>(s.key.members.size());
+      }
+      running_avg.observe(now, running);
+      double gamma_sum = 0;
+      int grouped = 0;
+      for (const JobState& s : states) {
+        if (s.running && s.key.members.size() > 1) {
+          gamma_sum += s.group_gamma;
+          ++grouped;
+        }
+      }
+      if (grouped > 0) gamma_avg.observe(now, gamma_sum / grouped);
+      if (running > 0) {
+        rate_avg.observe(now, rate_sum / running);
+        double width_sum = 0;
+        for (const auto& [members, width] : groups_seen) width_sum += width;
+        width_avg.observe(now, width_sum / static_cast<double>(groups_seen.size()));
+      }
+    }
+    for (int j = 0; j < kNumResources; ++j) {
+      util_avg[static_cast<size_t>(j)].observe(
+          now, utilization[static_cast<size_t>(j)]);
+    }
+    if (options.record_series) {
+      queue_series.record(now, queue_len);
+      blocking_series.record(now, blocking);
+      for (int j = 0; j < kNumResources; ++j) {
+        util_series[static_cast<size_t>(j)].record(
+            now, utilization[static_cast<size_t>(j)]);
+      }
+    }
+  };
+
+  // Recomputes cluster utilization from the currently running jobs.
+  auto recompute_utilization = [&]() {
+    utilization.fill(0.0);
+    const double total_gpus = cluster.total_gpus();
+    // Group jobs by their group key to avoid double counting shared GPUs:
+    // each running job contributes its own stage-time densities on its
+    // group's GPU share.
+    std::set<JobId> seen_group_anchor;
+    for (const JobState& s : states) {
+      if (!s.running || s.period <= 0) continue;
+      // GPU-share weight of this job's group, attributed once per member
+      // via equal division (members share the same GPU set).
+      const double share =
+          static_cast<double>(s.key.num_gpus) / total_gpus;
+      for (int j = 0; j < kNumResources; ++j) {
+        const double density =
+            s.job->profile.stage_time[static_cast<size_t>(j)] / s.period;
+        utilization[static_cast<size_t>(j)] += share * std::min(density, 1.0);
+      }
+    }
+    for (int j = 0; j < kNumResources; ++j) {
+      utilization[static_cast<size_t>(j)] =
+          std::min(utilization[static_cast<size_t>(j)], 1.0);
+    }
+  };
+
+  auto advance_to = [&](Time t) {
+    assert(t >= now);
+    if (t == now) return;
+    for (JobState& s : states) {
+      if (!s.running || s.finished) continue;
+      s.ran_wall += t - now;
+      const Time start = std::max(now, s.ready_at);
+      if (t > start && s.period > 0) {
+        const Duration effective = t - start;
+        s.done_iterations += effective / s.period;
+        s.attained_gpu_seconds +=
+            effective * static_cast<double>(s.job->num_gpus);
+      }
+    }
+    now = t;
+  };
+
+  auto projected_finish = [&](const JobState& s) -> Time {
+    if (!s.running || s.period <= 0) return kInf;
+    const double remaining =
+        static_cast<double>(s.job->iterations) - s.done_iterations;
+    if (remaining <= kIterEps) return now;
+    return std::max(now, s.ready_at) + remaining * s.period;
+  };
+
+  auto apply_plan = [&](const std::vector<PlannedGroup>& plan) {
+    cluster.reset();
+    std::set<JobId> placed;
+    std::vector<std::pair<GroupKey, const PlannedGroup*>> admitted;
+    OwnerId next_owner = 1;
+
+    for (const PlannedGroup& g : plan) {
+      if (g.members.empty()) continue;
+      bool valid = true;
+      int max_gpus = 0;
+      int min_gpus = std::numeric_limits<int>::max();
+      for (JobId id : g.members) {
+        if (id < 0 || static_cast<size_t>(id) >= n) {
+          valid = false;
+          break;
+        }
+        const JobState& s = states[static_cast<size_t>(id)];
+        if (!s.arrived || s.finished || placed.count(id)) {
+          valid = false;
+          break;
+        }
+        max_gpus = std::max(max_gpus, s.job->num_gpus);
+        min_gpus = std::min(min_gpus, s.job->num_gpus);
+      }
+      if (!valid || g.num_gpus < max_gpus) continue;
+      if (!cluster.can_allocate(g.num_gpus)) continue;
+      cluster.allocate(next_owner++, g.num_gpus);
+
+      GroupKey key;
+      key.members = g.members;
+      std::sort(key.members.begin(), key.members.end());
+      key.mode = g.mode;
+      key.num_gpus = g.num_gpus;
+      for (JobId id : g.members) placed.insert(id);
+      admitted.emplace_back(std::move(key), &g);
+
+      // Track cascade input via min/max demand.
+      admitted.back().first.num_gpus = g.num_gpus;
+      (void)min_gpus;
+    }
+
+    // Compute execution periods and start/continue jobs.
+    std::set<JobId> newly_running;
+    for (const auto& [key, group] : admitted) {
+      const auto p = group->members.size();
+      std::vector<IterationProfile> true_profiles;
+      std::vector<ResourceVector> true_stages;
+      true_profiles.reserve(p);
+      true_stages.reserve(p);
+      int max_gpus = 0, min_gpus = std::numeric_limits<int>::max();
+      for (JobId id : group->members) {
+        const JobState& s = states[static_cast<size_t>(id)];
+        true_profiles.push_back(s.job->profile);
+        true_stages.push_back(s.job->profile.stage_time);
+        max_gpus = std::max(max_gpus, s.job->num_gpus);
+        min_gpus = std::min(min_gpus, s.job->num_gpus);
+      }
+
+      std::vector<Duration> periods(p, 0.0);
+      if (group->mode == GroupMode::kInterleaved && p > 1) {
+        // Validate the scheduler's rotation schedule; fall back to a fresh
+        // best-order plan if it is unusable against the true profiles.
+        std::vector<Resource> slots = group->slots;
+        std::vector<int> offsets = group->offsets;
+        const int s = static_cast<int>(slots.size());
+        bool schedule_ok = offsets.size() == p &&
+                           static_cast<size_t>(s) >= p &&
+                           std::set<Resource>(slots.begin(), slots.end())
+                                   .size() == slots.size();
+        if (schedule_ok) {
+          std::set<int> distinct(offsets.begin(), offsets.end());
+          schedule_ok = distinct.size() == p;
+          for (int o : offsets) {
+            schedule_ok = schedule_ok && o >= 0 && o < s;
+          }
+        }
+        // The chosen stage ordering sets the execution quality: a
+        // misaligned rotation stretches every stage by the ratio of its
+        // period to the best achievable one (Fig. 6 / Fig. 11).
+        const InterleavePlan best = plan_interleave(true_stages);
+        Duration chosen_period = best.period;
+        if (schedule_ok) {
+          chosen_period = group_period(true_stages, slots, offsets);
+        }
+        const double ordering_factor =
+            best.period > 0 ? std::max(1.0, chosen_period / best.period)
+                            : 1.0;
+
+        // Barriers are paced by the *planned* schedule; the relative gap
+        // between planned and true period becomes idle time (Fig. 14).
+        double misplan_factor = 1.0;
+        if (group->planned_period > 0 && chosen_period > 0) {
+          const double gap =
+              std::abs(chosen_period - group->planned_period) /
+              std::max(group->planned_period, chosen_period);
+          misplan_factor = 1.0 + options.misplan_penalty * gap;
+        }
+
+        // Schedule quality: groups with poor best-case γ pipeline badly.
+        const double gamma_true = group_efficiency(true_stages, best.period);
+        for (JobId id : group->members) {
+          states[static_cast<size_t>(id)].group_gamma = gamma_true;
+        }
+        const double quality_factor =
+            1.0 + options.gamma_penalty * (1.0 - std::clamp(gamma_true, 0.0, 1.0));
+
+        FluidOptions fluid;
+        fluid.inflation = (1.0 + options.alpha * static_cast<double>(p - 1)) *
+                          ordering_factor * misplan_factor * quality_factor;
+        if (max_gpus != min_gpus) {
+          fluid.inflation *= 1.0 + options.cascade_penalty *
+                                       safe_log2_ratio(max_gpus, min_gpus);
+        }
+        fluid.contention_penalty = options.contention_penalty;
+        fluid.significant_duty = options.significant_duty;
+        const std::vector<double> rates =
+            max_min_fair_rates(true_profiles, fluid);
+        for (size_t i = 0; i < p; ++i) {
+          periods[i] = rates[i] > 0
+                           ? true_profiles[i].iteration_time() / rates[i]
+                           : kInf;
+        }
+      } else if (group->mode == GroupMode::kUncoordinated && p > 1) {
+        FluidOptions fluid;
+        fluid.inflation = 1.0 + options.beta;
+        fluid.contention_penalty = options.contention_penalty;
+        fluid.significant_duty = options.significant_duty;
+        const std::vector<double> rates =
+            max_min_fair_rates(true_profiles, fluid);
+        for (size_t i = 0; i < p; ++i) {
+          periods[i] = rates[i] > 0
+                           ? true_profiles[i].iteration_time() / rates[i]
+                           : kInf;
+        }
+      } else {
+        for (size_t i = 0; i < p; ++i) {
+          periods[i] = true_profiles[i].iteration_time();
+        }
+      }
+
+      for (size_t i = 0; i < p; ++i) {
+        const JobId id = group->members[i];
+        JobState& s = states[static_cast<size_t>(id)];
+        const bool unchanged = s.running && s.key == key;
+        s.period = periods[i];
+        if (!unchanged) {
+          if (s.running) ++result.restarts;
+          s.key = key;
+          s.ready_at = now + options.restart_penalty;
+          s.next_fault = fault_rate > 0
+                             ? now + fault_rng.exponential(fault_rate)
+                             : kInf;
+        }
+        s.running = true;
+        newly_running.insert(id);
+      }
+    }
+
+    // Jobs not in the admitted plan are preempted back to the queue.
+    for (JobState& s : states) {
+      if (s.running && !newly_running.count(s.job->id)) {
+        s.running = false;
+        s.period = 0;
+        s.key = GroupKey{};
+      }
+    }
+    recompute_utilization();
+  };
+
+  // Main event loop.
+  const Time start_time = now;
+  int stall_rounds = 0;
+  observe_metrics();
+  dirty = true;
+
+  while (finished_count < n) {
+    // Defensive: if nothing can make progress, force a round.
+    // Next event candidates.
+    Time t_arrival = next_arrival < n
+                         ? trace.jobs[arrival_order[next_arrival]].submit_time
+                         : kInf;
+    Time t_finish = kInf;
+    for (const JobState& s : states) {
+      if (s.running && !s.finished) {
+        t_finish = std::min(t_finish, projected_finish(s));
+        if (fault_rate > 0) t_finish = std::min(t_finish, s.next_fault);
+      }
+    }
+    Time t_round = dirty ? std::max(now, last_round + options.schedule_interval)
+                         : kInf;
+    Time t_next = std::min({t_arrival, t_finish, t_round});
+
+    if (t_next == kInf) {
+      // No arrivals, no running jobs, nothing dirty — but jobs remain:
+      // force a scheduling round (should not happen in practice).
+      if (finished_count < n) {
+        dirty = true;
+        t_next = now;
+      } else {
+        break;
+      }
+    }
+    if (options.max_time > 0 && t_next > options.max_time) {
+      now = options.max_time;
+      break;
+    }
+
+    advance_to(t_next);
+
+    // Arrivals.
+    while (next_arrival < n &&
+           trace.jobs[arrival_order[next_arrival]].submit_time <= now) {
+      JobState& s = states[arrival_order[next_arrival]];
+      s.arrived = true;
+      s.measured = profiler.profile(*s.job);
+      dirty = true;
+      ++next_arrival;
+    }
+
+    // Faults: the executor reports the failure and the job goes back to
+    // the queue (progress checkpointed at iteration granularity).
+    if (fault_rate > 0) {
+      for (JobState& s : states) {
+        if (s.running && !s.finished && now >= s.next_fault &&
+            s.done_iterations <
+                static_cast<double>(s.job->iterations) - kIterEps) {
+          s.running = false;
+          s.period = 0;
+          s.key = GroupKey{};
+          s.next_fault = kInf;
+          ++result.faults;
+          dirty = true;
+        }
+      }
+    }
+
+    // Completions.
+    for (JobState& s : states) {
+      if (!s.finished && s.running &&
+          s.done_iterations >=
+              static_cast<double>(s.job->iterations) - kIterEps) {
+        s.finished = true;
+        s.running = false;
+        s.period = 0;
+        ++finished_count;
+        result.jcts.push_back(now - s.job->submit_time);
+        dirty = true;
+      }
+    }
+    if (dirty) recompute_utilization();
+
+    // Scheduling round.
+    if (dirty && now >= last_round + options.schedule_interval - 1e-9) {
+      std::vector<JobView> queue;
+      for (const JobState& s : states) {
+        if (!s.arrived || s.finished) continue;
+        JobView v;
+        v.id = s.job->id;
+        v.num_gpus = s.job->num_gpus;
+        v.submit_time = s.job->submit_time;
+        v.measured = s.measured;
+        v.attained_service = s.attained_gpu_seconds;
+        v.age = now - s.job->submit_time;
+        v.remaining_time = options.durations_known ? s.remaining_solo() : 0.0;
+        v.running = s.running;
+        queue.push_back(std::move(v));
+      }
+      SchedulerContext ctx;
+      ctx.now = now;
+      ctx.total_gpus = cluster.total_gpus();
+      ctx.gpus_per_machine = options.cluster.gpus_per_machine;
+      ctx.durations_known = options.durations_known;
+
+      const auto wall_start = std::chrono::steady_clock::now();
+      const auto plan = scheduler.schedule(queue, ctx);
+      const auto wall_end = std::chrono::steady_clock::now();
+      result.scheduler_wall_ms +=
+          std::chrono::duration<double, std::milli>(wall_end - wall_start)
+              .count();
+      ++result.scheduler_invocations;
+
+      apply_plan(plan);
+      last_round = now;
+      // Keep rounds firing while jobs wait: time-varying priorities
+      // (attained service, fairness deficits) must be able to preempt.
+      bool any_waiting = false;
+      bool any_running = false;
+      for (const JobState& s : states) {
+        if (s.arrived && !s.finished) {
+          any_waiting = any_waiting || !s.running;
+          any_running = any_running || s.running;
+        }
+      }
+      dirty = any_waiting;
+      if (any_waiting && !any_running && next_arrival >= n) {
+        ++stall_rounds;
+        if (stall_rounds >= 3) {
+          MURI_LOG(kError) << scheduler.name()
+                           << ": scheduler cannot place remaining jobs; "
+                              "aborting simulation";
+          break;
+        }
+      } else {
+        stall_rounds = 0;
+      }
+    }
+
+    observe_metrics();
+  }
+
+  // Finalize metrics.
+  result.finished_jobs = static_cast<int>(finished_count);
+  result.unfinished_jobs = static_cast<int>(n - finished_count);
+  result.avg_jct = mean(result.jcts);
+  result.p99_jct = percentile(result.jcts, 99.0);
+  result.makespan = now - start_time;
+  result.avg_queue_length = queue_avg.finalize(now);
+  result.avg_blocking_index = blocking_avg.finalize(now);
+  for (int j = 0; j < kNumResources; ++j) {
+    result.avg_utilization[static_cast<size_t>(j)] =
+        util_avg[static_cast<size_t>(j)].finalize(now);
+  }
+  if (options.record_series) {
+    result.queue_series = queue_series.points();
+    result.blocking_series = blocking_series.points();
+    for (int j = 0; j < kNumResources; ++j) {
+      result.util_series[static_cast<size_t>(j)] =
+          util_series[static_cast<size_t>(j)].points();
+    }
+  }
+  result.avg_running_jobs = running_avg.finalize(now);
+  result.avg_group_width = width_avg.finalize(now);
+  result.avg_normalized_rate = rate_avg.finalize(now);
+  result.avg_group_gamma = gamma_avg.finalize(now);
+  result.profiler_sessions = profiler.sessions();
+  result.profiling_time = profiler.profiling_time();
+  return result;
+}
+
+}  // namespace muri

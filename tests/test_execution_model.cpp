@@ -1,0 +1,276 @@
+// White-box tests of the simulator's execution model using a scripted
+// scheduler that returns a fixed plan: verifies the exact per-mode period
+// arithmetic (exclusive / interleaved / uncoordinated), the ordering and
+// mis-planning penalties, and the mixed-GPU cascade.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "interleave/efficiency.h"
+#include "sim/fluid.h"
+#include "sim/simulator.h"
+
+namespace muri {
+namespace {
+
+// Returns the same plan every round, dropping members that have left the
+// queue (completed) so long-running tests stay valid.
+class ScriptedScheduler final : public Scheduler {
+ public:
+  explicit ScriptedScheduler(std::vector<PlannedGroup> plan)
+      : plan_(std::move(plan)) {}
+  std::string name() const override { return "Scripted"; }
+  std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
+                                     const SchedulerContext&) override {
+    std::set<JobId> alive;
+    for (const JobView& v : queue) alive.insert(v.id);
+    std::vector<PlannedGroup> plan;
+    for (PlannedGroup g : plan_) {
+      std::vector<JobId> members;
+      for (JobId id : g.members) {
+        if (alive.count(id)) members.push_back(id);
+      }
+      if (members.empty()) continue;
+      if (members.size() != g.members.size()) {
+        // Group shrank: drop the stale rotation schedule.
+        g.slots.clear();
+        g.offsets.clear();
+        g.planned_period = 0;
+      }
+      g.members = std::move(members);
+      plan.push_back(std::move(g));
+    }
+    return plan;
+  }
+
+ private:
+  std::vector<PlannedGroup> plan_;
+};
+
+Job make_job(JobId id, ModelKind m, int gpus, double solo_secs) {
+  Job j;
+  j.id = id;
+  j.model = m;
+  j.num_gpus = gpus;
+  j.submit_time = 0;
+  j.profile = model_profile(m, gpus);
+  j.iterations = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(solo_secs / j.profile.iteration_time()));
+  return j;
+}
+
+SimOptions base_options(int machines = 1, int gpus = 4) {
+  SimOptions opt;
+  opt.cluster.num_machines = machines;
+  opt.cluster.gpus_per_machine = gpus;
+  opt.schedule_interval = 60;
+  opt.restart_penalty = 0;
+  return opt;
+}
+
+TEST(ExecutionModel, ExclusiveJobFinishesAtSoloDuration) {
+  Trace t;
+  t.name = "x";
+  t.jobs.push_back(make_job(0, ModelKind::kBert, 1, 700));
+  ScriptedScheduler s({{{0}, 1, GroupMode::kExclusive, {}, {}, 0}});
+  const SimResult r = run_simulation(t, s, base_options());
+  ASSERT_EQ(r.finished_jobs, 1);
+  EXPECT_NEAR(r.jcts[0], t.jobs[0].solo_duration(), 1.0);
+}
+
+TEST(ExecutionModel, InterleavedPairMatchesFluidPrediction) {
+  Trace t;
+  t.name = "pair";
+  t.jobs.push_back(make_job(0, ModelKind::kShuffleNet, 1, 600));
+  t.jobs.push_back(make_job(1, ModelKind::kGpt2, 1, 600));
+  PlannedGroup g;
+  g.members = {0, 1};
+  g.num_gpus = 1;
+  g.mode = GroupMode::kInterleaved;  // offsets empty -> best-order fallback
+  ScriptedScheduler s({g});
+
+  SimOptions opt = base_options();
+  const SimResult r = run_simulation(t, s, opt);
+  ASSERT_EQ(r.finished_jobs, 2);
+
+  // Reproduce the model arithmetic for job 0.
+  std::vector<IterationProfile> profiles = {t.jobs[0].profile,
+                                            t.jobs[1].profile};
+  std::vector<ResourceVector> stages = {profiles[0].stage_time,
+                                        profiles[1].stage_time};
+  const InterleavePlan best = plan_interleave(stages);
+  const double gamma = group_efficiency(stages, best.period);
+  FluidOptions fluid;
+  fluid.inflation = (1.0 + opt.alpha) *
+                    (1.0 + opt.gamma_penalty * (1.0 - gamma));
+  fluid.contention_penalty = opt.contention_penalty;
+  fluid.significant_duty = opt.significant_duty;
+  const auto rates = max_min_fair_rates(profiles, fluid);
+  const double expected_jct0 =
+      static_cast<double>(t.jobs[0].iterations) *
+      profiles[0].iteration_time() / rates[0];
+  // First recorded completion is the earlier one; find job 0's JCT via the
+  // expectation (both started at t=0).
+  const double measured = std::min(r.jcts[0], r.jcts[1]) <= expected_jct0 + 2
+                              ? (r.jcts[0] < r.jcts[1] ? r.jcts[0] : r.jcts[1])
+                              : r.jcts[0];
+  (void)measured;
+  bool matches_one = std::abs(r.jcts[0] - expected_jct0) < 2.0 ||
+                     std::abs(r.jcts[1] - expected_jct0) < 2.0;
+  EXPECT_TRUE(matches_one)
+      << "expected " << expected_jct0 << " got " << r.jcts[0] << " / "
+      << r.jcts[1];
+}
+
+TEST(ExecutionModel, WorstOrderingSlowerThanBest) {
+  auto run_with_offsets = [&](bool worst) {
+    Trace t;
+    t.name = "order";
+    t.jobs.push_back(make_job(0, ModelKind::kVgg16, 1, 500));
+    t.jobs.push_back(make_job(1, ModelKind::kDqn, 1, 500));
+    std::vector<ResourceVector> stages = {t.jobs[0].profile.stage_time,
+                                          t.jobs[1].profile.stage_time};
+    const InterleavePlan plan = plan_interleave(
+        stages, worst ? OrderingPolicy::kWorst : OrderingPolicy::kBest);
+    PlannedGroup g;
+    g.members = {0, 1};
+    g.num_gpus = 1;
+    g.mode = GroupMode::kInterleaved;
+    g.slots = plan.slots;
+    g.offsets = plan.offsets;
+    g.planned_period = plan.period;
+    ScriptedScheduler s({g});
+    return run_simulation(t, s, base_options()).makespan;
+  };
+  const double best = run_with_offsets(false);
+  const double worst = run_with_offsets(true);
+  EXPECT_GT(worst, best * 1.02);
+}
+
+TEST(ExecutionModel, MisplanPenaltySlowsMisestimatedGroups) {
+  auto run_with_planned_period = [&](double planned) {
+    Trace t;
+    t.name = "misplan";
+    t.jobs.push_back(make_job(0, ModelKind::kShuffleNet, 1, 400));
+    t.jobs.push_back(make_job(1, ModelKind::kGpt2, 1, 400));
+    PlannedGroup g;
+    g.members = {0, 1};
+    g.num_gpus = 1;
+    g.mode = GroupMode::kInterleaved;
+    g.planned_period = planned;
+    ScriptedScheduler s({g});
+    return run_simulation(t, s, base_options()).makespan;
+  };
+  const double accurate = run_with_planned_period(0);  // 0 = no plan claim
+  const double wildly_wrong = run_with_planned_period(100.0);
+  EXPECT_GT(wildly_wrong, accurate * 1.1);
+}
+
+TEST(ExecutionModel, UncoordinatedSlowerThanInterleavedForSamePair) {
+  auto run_mode = [&](GroupMode mode) {
+    Trace t;
+    t.name = "mode";
+    t.jobs.push_back(make_job(0, ModelKind::kShuffleNet, 1, 400));
+    t.jobs.push_back(make_job(1, ModelKind::kShuffleNet, 1, 400));
+    PlannedGroup g;
+    g.members = {0, 1};
+    g.num_gpus = 1;
+    g.mode = mode;
+    ScriptedScheduler s({g});
+    return run_simulation(t, s, base_options()).makespan;
+  };
+  // Same-bottleneck pair: both modes contend, but the uncoordinated
+  // interference inflation (beta) exceeds the coordinated overheads.
+  const double coordinated = run_mode(GroupMode::kInterleaved);
+  const double uncoordinated = run_mode(GroupMode::kUncoordinated);
+  EXPECT_GT(uncoordinated, coordinated * 1.01);
+}
+
+TEST(ExecutionModel, MixedGpuGroupPaysCascadePenalty) {
+  auto run_gpus = [&](int gpus_b, double cascade) {
+    Trace t;
+    t.name = "cascade";
+    t.jobs.push_back(make_job(0, ModelKind::kShuffleNet, 2, 400));
+    t.jobs.push_back(make_job(1, ModelKind::kGpt2, gpus_b, 400));
+    PlannedGroup g;
+    g.members = {0, 1};
+    g.num_gpus = 2;
+    g.mode = GroupMode::kInterleaved;
+    ScriptedScheduler s({g});
+    SimOptions opt = base_options(1, 2);
+    opt.cascade_penalty = cascade;
+    return run_simulation(t, s, opt).makespan;
+  };
+  const double same_size = run_gpus(2, 0.25);
+  const double mixed = run_gpus(1, 0.25);
+  const double mixed_no_penalty = run_gpus(1, 0.0);
+  EXPECT_GT(mixed, mixed_no_penalty * 1.02);
+  (void)same_size;
+}
+
+TEST(ExecutionModel, GroupSharesSingleGpuSet) {
+  // Four 1-GPU jobs interleaved as one group need only 1 GPU; a second
+  // exclusive job can use the other GPU concurrently.
+  Trace t;
+  t.name = "share";
+  for (int i = 0; i < 4; ++i) {
+    t.jobs.push_back(make_job(i, kAllModels[static_cast<size_t>(i) * 2 % 8],
+                              1, 300));
+  }
+  t.jobs.push_back(make_job(4, ModelKind::kBert, 1, 300));
+  PlannedGroup g;
+  g.members = {0, 1, 2, 3};
+  g.num_gpus = 1;
+  g.mode = GroupMode::kInterleaved;
+  PlannedGroup solo;
+  solo.members = {4};
+  solo.num_gpus = 1;
+  solo.mode = GroupMode::kExclusive;
+  ScriptedScheduler s({g, solo});
+  SimOptions opt = base_options(1, 2);
+  const SimResult r = run_simulation(t, s, opt);
+  EXPECT_EQ(r.finished_jobs, 5);
+  // The exclusive job saw no contention: finishes at its solo duration.
+  double min_jct = 1e18;
+  for (double j : r.jcts) min_jct = std::min(min_jct, j);
+  EXPECT_NEAR(min_jct, 300.0, 3.0);
+}
+
+TEST(ExecutionModel, InvalidPlansAreRejectedGracefully) {
+  Trace t;
+  t.name = "invalid";
+  t.jobs.push_back(make_job(0, ModelKind::kBert, 1, 200));
+  std::vector<PlannedGroup> plan;
+  // Unknown job id.
+  plan.push_back({{99}, 1, GroupMode::kExclusive, {}, {}, 0});
+  // Duplicate member.
+  plan.push_back({{0, 0}, 1, GroupMode::kInterleaved, {}, {}, 0});
+  // Under-provisioned group (num_gpus < member demand).
+  plan.push_back({{0}, 0, GroupMode::kExclusive, {}, {}, 0});
+  // Finally a valid one.
+  plan.push_back({{0}, 1, GroupMode::kExclusive, {}, {}, 0});
+  ScriptedScheduler s(plan);
+  const SimResult r = run_simulation(t, s, base_options());
+  EXPECT_EQ(r.finished_jobs, 1);
+}
+
+TEST(ExecutionModel, OverCommittedPlanOnlyPlacesWhatFits) {
+  Trace t;
+  t.name = "overcommit";
+  for (int i = 0; i < 3; ++i) {
+    t.jobs.push_back(make_job(i, ModelKind::kBert, 1, 200));
+  }
+  std::vector<PlannedGroup> plan;
+  for (int i = 0; i < 3; ++i) {
+    plan.push_back({{i}, 1, GroupMode::kExclusive, {}, {}, 0});
+  }
+  ScriptedScheduler s(plan);
+  const SimResult r = run_simulation(t, s, base_options(1, 2));
+  // Only 2 GPUs: the third job waits for a completion, all still finish.
+  EXPECT_EQ(r.finished_jobs, 3);
+  EXPECT_GT(r.makespan, 350.0);
+}
+
+}  // namespace
+}  // namespace muri

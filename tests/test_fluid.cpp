@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/fluid.h"
+
+namespace muri {
+namespace {
+
+FluidOptions no_contention(double inflation = 1.0) {
+  FluidOptions opt;
+  opt.inflation = inflation;
+  opt.contention_penalty = 0.0;
+  return opt;
+}
+
+TEST(Fluid, SingleJobRunsAtSoloRate) {
+  const std::vector<ResourceVector> jobs = {{1, 1, 1, 1}};
+  const auto x = max_min_fair_rates(jobs, no_contention());
+  ASSERT_EQ(x.size(), 1u);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(Fluid, SoloJobUnaffectedByContentionModel) {
+  // One job is never "contended" (penalty needs >= 2 significant users).
+  const std::vector<ResourceVector> jobs = {{0, 0, 1, 0}};
+  const auto x = max_min_fair_rates(jobs, FluidOptions{});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(Fluid, EmptyGroup) {
+  EXPECT_TRUE(
+      max_min_fair_rates(std::vector<ResourceVector>{}, 1.0).empty());
+}
+
+TEST(Fluid, ZeroProfileGetsFullRate) {
+  const std::vector<ResourceVector> jobs = {ResourceVector{}};
+  const auto x = max_min_fair_rates(jobs, 1.5);
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+}
+
+TEST(Fluid, TwoIdenticalSingleResourceJobsSplitEvenly) {
+  // Two jobs 100% GPU, no contention penalty: each gets half.
+  const std::vector<ResourceVector> jobs = {{0, 0, 1, 0}, {0, 0, 1, 0}};
+  const auto x = max_min_fair_rates(jobs, no_contention());
+  EXPECT_NEAR(x[0], 0.5, 1e-9);
+  EXPECT_NEAR(x[1], 0.5, 1e-9);
+}
+
+TEST(Fluid, ContentionPenaltySlowsSameBottleneckPair) {
+  // With the default 0.10 contention penalty, two GPU-saturated jobs each
+  // run at 0.5/1.10 — the §2.1 "sharing can degrade" pathology.
+  const std::vector<ResourceVector> jobs = {{0, 0, 1, 0}, {0, 0, 1, 0}};
+  const auto x = max_min_fair_rates(jobs, FluidOptions{});
+  EXPECT_NEAR(x[0], 0.5 / 1.10, 1e-9);
+  EXPECT_NEAR(x[1], 0.5 / 1.10, 1e-9);
+}
+
+TEST(Fluid, ComplementaryJobsEscapeContentionPenalty) {
+  // Disjoint bottlenecks: one significant user per resource, so no
+  // contention inflation at all.
+  const std::vector<ResourceVector> jobs = {{1, 1, 0, 0}, {0, 0, 1, 1}};
+  const auto x = max_min_fair_rates(jobs, FluidOptions{});
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+TEST(Fluid, LightUserBelowThresholdDoesNotTriggerContention) {
+  // Job 1's GPU duty is 10% (< 0.25 threshold): job 0 keeps the full
+  // channel uninflated; both jobs are capacity-limited only.
+  const std::vector<ResourceVector> jobs = {{0, 0, 1, 0}, {0, 0.9, 0.1, 0}};
+  const auto x = max_min_fair_rates(jobs, FluidOptions{});
+  // GPU load: x0*1 + x1*0.1 <= 1; common growth: x*(1.1)=1 -> both 0.909.
+  EXPECT_NEAR(x[0], 1.0 / 1.1, 1e-9);
+  EXPECT_NEAR(x[1], 1.0 / 1.1, 1e-9);
+}
+
+TEST(Fluid, InflationSlowsContendedJobs) {
+  const std::vector<ResourceVector> jobs = {{0, 0, 1, 0}, {0, 0, 1, 0}};
+  const auto x = max_min_fair_rates(jobs, no_contention(1.4));
+  EXPECT_NEAR(x[0], 0.5 / 1.4, 1e-9);
+}
+
+TEST(Fluid, ComplementaryJobsKeepSoloRates) {
+  const std::vector<ResourceVector> jobs = {{1, 1, 0, 0}, {0, 0, 1, 1}};
+  const auto x = max_min_fair_rates(jobs, no_contention());
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+TEST(Fluid, MaxMinProtectsLightJobs) {
+  // Job 0 uses GPU lightly (20% duty), jobs 1-2 are GPU-saturated; no
+  // contention penalty isolates the max-min arithmetic.
+  const std::vector<ResourceVector> jobs = {
+      {4, 0, 1, 0}, {0, 0, 1, 0}, {0, 0, 1, 0}};
+  const auto x = max_min_fair_rates(jobs, no_contention());
+  // Common growth until GPU drains: x*(0.2 + 1 + 1) = 1 -> x = 1/2.2.
+  EXPECT_NEAR(x[0], 1.0 / 2.2, 1e-9);
+  EXPECT_NEAR(x[1], 1.0 / 2.2, 1e-9);
+  EXPECT_NEAR(x[2], 1.0 / 2.2, 1e-9);
+}
+
+TEST(Fluid, NonContendingJobKeepsGrowingAfterBottleneckFreeze) {
+  // Job 0 is storage-only; jobs 1-2 saturate the GPU. Job 0 reaches its
+  // solo rate even though the GPU drains.
+  const std::vector<ResourceVector> jobs = {
+      {1, 0, 0, 0}, {0, 0, 1, 0}, {0, 0, 1, 0}};
+  const auto x = max_min_fair_rates(jobs, no_contention());
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_NEAR(x[1], 0.5, 1e-9);
+}
+
+TEST(Fluid, RatesAreFeasible) {
+  // Property: the returned rates never oversubscribe any resource
+  // (checked without the contention term, which only tightens demands).
+  Rng rng(5150);
+  for (int trial = 0; trial < 300; ++trial) {
+    const size_t p = 1 + static_cast<size_t>(rng.uniform_int(0, 3));
+    std::vector<ResourceVector> jobs(p);
+    for (auto& prof : jobs) {
+      for (int j = 0; j < kNumResources; ++j) {
+        prof[static_cast<size_t>(j)] =
+            rng.bernoulli(0.7) ? rng.uniform(0.0, 2.0) : 0.0;
+      }
+    }
+    const double inflation = rng.uniform(1.0, 1.5);
+    const auto x = max_min_fair_rates(jobs, no_contention(inflation));
+    for (int j = 0; j < kNumResources; ++j) {
+      double load = 0;
+      for (size_t i = 0; i < p; ++i) {
+        const Duration iter = total(jobs[i]);
+        if (iter <= 0) continue;
+        load += x[i] * inflation * jobs[i][static_cast<size_t>(j)] / iter;
+      }
+      EXPECT_LE(load, 1.0 + 1e-6);
+    }
+    for (double xi : x) {
+      EXPECT_GE(xi, 0.0);
+      EXPECT_LE(xi, 1.0);
+    }
+  }
+}
+
+TEST(Fluid, ContentionOnlyEverSlowsDown) {
+  Rng rng(867);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<ResourceVector> jobs(3);
+    for (auto& prof : jobs) {
+      for (int j = 0; j < kNumResources; ++j) {
+        prof[static_cast<size_t>(j)] = rng.uniform(0.0, 1.0);
+      }
+    }
+    const auto with = max_min_fair_rates(jobs, FluidOptions{});
+    const auto without = max_min_fair_rates(jobs, no_contention());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_LE(with[i], without[i] + 1e-9);
+    }
+  }
+}
+
+TEST(Fluid, MonotoneInInflation) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ResourceVector> jobs(3);
+    for (auto& prof : jobs) {
+      for (int j = 0; j < kNumResources; ++j) {
+        prof[static_cast<size_t>(j)] = rng.uniform(0.0, 1.0);
+      }
+    }
+    const auto lo = max_min_fair_rates(jobs, no_contention(1.0));
+    const auto hi = max_min_fair_rates(jobs, no_contention(1.5));
+    for (size_t i = 0; i < jobs.size(); ++i) {
+      EXPECT_LE(hi[i], lo[i] + 1e-9);
+    }
+  }
+}
+
+TEST(Fluid, Table2ShapeComplementaryFourJobGroup) {
+  // The four Table 2 models grouped on one GPU set: total normalized
+  // throughput should land near the paper's ~2.0 (between 1.5 and 3.0)
+  // with default modeling and the 4-job α inflation.
+  const std::vector<ResourceVector> jobs = {
+      {0.154, 0.046, 0.015, 0.004},    // shufflenet-like
+      {0.0, 0.239, 0.010, 0.001},      // a2c-like
+      {0.001, 0.001, 0.675, 0.223},    // gpt2-like
+      {0.076, 0.018, 0.101, 0.166},    // vgg16-like
+  };
+  FluidOptions opt;
+  opt.inflation = 1.0 + 0.05 * 3;
+  const auto x = max_min_fair_rates(jobs, opt);
+  const double total_normalized = x[0] + x[1] + x[2] + x[3];
+  EXPECT_GT(total_normalized, 1.5);
+  EXPECT_LT(total_normalized, 3.0);
+}
+
+TEST(Fluid, OneJobTypeGroupGainsLittle) {
+  // Four storage-bound jobs (Fig. 13's one-type case): aggregate
+  // throughput stays near 1x of a single exclusive job.
+  const std::vector<ResourceVector> jobs(4,
+                                         ResourceVector{0.7, 0.2, 0.07, 0.03});
+  FluidOptions opt;
+  opt.inflation = 1.0 + 0.05 * 3;
+  const auto x = max_min_fair_rates(jobs, opt);
+  const double total = x[0] + x[1] + x[2] + x[3];
+  EXPECT_LT(total, 1.5);
+  EXPECT_GT(total, 0.6);
+}
+
+}  // namespace
+}  // namespace muri

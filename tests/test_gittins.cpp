@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "scheduler/gittins.h"
+#include "sim/simulator.h"
+#include "scheduler/baselines.h"
+
+namespace muri {
+namespace {
+
+JobView view(JobId id, double attained, Time submit = 0) {
+  JobView v;
+  v.id = id;
+  v.num_gpus = 1;
+  v.submit_time = submit;
+  v.attained_service = attained;
+  v.measured = model_profile(ModelKind::kBert, 1);
+  return v;
+}
+
+SchedulerContext ctx(int gpus) {
+  SchedulerContext c;
+  c.total_gpus = gpus;
+  return c;
+}
+
+// Feeds the scheduler rounds so that jobs with the given service values
+// "complete" and seed the empirical distribution.
+void seed_samples(GittinsScheduler& g, const std::vector<double>& services) {
+  std::vector<JobView> round;
+  JobId id = 1000;
+  for (double s : services) round.push_back(view(id++, s));
+  g.schedule(round, ctx(0));       // observe the jobs
+  g.schedule({}, ctx(0));          // they vanish -> recorded as completions
+}
+
+TEST(Gittins, BootstrapsAsLasUntilEnoughSamples) {
+  GittinsScheduler g;
+  EXPECT_EQ(g.samples(), 0u);
+  // Two jobs, less-attained first (LAS behaviour).
+  const auto plan = g.schedule({view(0, 100.0), view(1, 5.0)}, ctx(1));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].members[0], 1);
+}
+
+TEST(Gittins, HarvestsCompletions) {
+  GittinsScheduler g;
+  seed_samples(g, {10, 20, 30});
+  EXPECT_EQ(g.samples(), 3u);
+}
+
+TEST(Gittins, IndexZeroBeyondAllSamples) {
+  GittinsScheduler g;
+  seed_samples(g, {10, 20, 30});
+  EXPECT_DOUBLE_EQ(g.index_of(40.0), 0.0);
+  EXPECT_GT(g.index_of(0.0), 0.0);
+}
+
+TEST(Gittins, IndexDecreasesPastTheCommonMode) {
+  // Bimodal service: many short (~10) plus few long (~1000). A job that
+  // has attained 15 has revealed itself as long: its index must be far
+  // below a fresh job's.
+  GittinsScheduler g;
+  std::vector<double> services;
+  for (int i = 0; i < 30; ++i) services.push_back(10.0 + i * 0.01);
+  for (int i = 0; i < 3; ++i) services.push_back(1000.0 + i);
+  seed_samples(g, services);
+  const double fresh = g.index_of(0.0);
+  const double revealed_long = g.index_of(15.0);
+  EXPECT_GT(fresh, revealed_long * 5);
+}
+
+TEST(Gittins, DeterministicExactIndexOnTinyDistribution) {
+  // Samples {10, 20}; attained 0.
+  //   cut at 10: P = 1/2, E = (10 + 10)/2 = 10      -> 0.05
+  //   cut at 20: P = 1,   E = (10 + 20)/2 = 15      -> 0.0667
+  GittinsScheduler g;
+  seed_samples(g, {10, 20});
+  EXPECT_NEAR(g.index_of(0.0), 1.0 / 15.0, 1e-12);
+  // attained 12: only {20} remains; cut at 20: P=1, E=8 -> 1/8.
+  EXPECT_NEAR(g.index_of(12.0), 1.0 / 8.0, 1e-12);
+}
+
+TEST(Gittins, PrefersLikelyFinishersOnceTrained) {
+  GittinsScheduler g;
+  std::vector<double> services;
+  for (int i = 0; i < 20; ++i) services.push_back(100.0 + i);
+  for (int i = 0; i < 2; ++i) services.push_back(10000.0 + i);
+  seed_samples(g, services);
+  ASSERT_GE(g.samples(), 8u);
+  // Job 0 attained 90 (about to finish per the distribution);
+  // job 1 attained 150 (already past the cluster of short jobs).
+  const auto plan = g.schedule({view(1, 150.0), view(0, 90.0)}, ctx(1));
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0].members[0], 0);
+}
+
+TEST(Gittins, SampleCapEvictsOldest) {
+  GittinsScheduler::Options opt;
+  opt.max_samples = 4;
+  GittinsScheduler g(opt);
+  seed_samples(g, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(g.samples(), 4u);
+}
+
+TEST(Gittins, EndToEndSimulationCompletes) {
+  const Trace t = [] {
+    Trace tr;
+    tr.name = "gittins";
+    for (int i = 0; i < 12; ++i) {
+      Job j;
+      j.id = i;
+      j.model = kAllModels[static_cast<size_t>(i) % kNumModels];
+      j.num_gpus = 1;
+      j.submit_time = i * 30.0;
+      j.profile = model_profile(j.model, 1);
+      j.iterations = static_cast<std::int64_t>(
+          (300.0 + 100.0 * i) / j.profile.iteration_time());
+      tr.jobs.push_back(j);
+    }
+    return tr;
+  }();
+  GittinsScheduler g;
+  SimOptions opt;
+  opt.cluster.num_machines = 1;
+  opt.cluster.gpus_per_machine = 2;
+  opt.schedule_interval = 60;
+  const SimResult r = run_simulation(t, g, opt);
+  EXPECT_EQ(r.finished_jobs, 12);
+}
+
+}  // namespace
+}  // namespace muri

@@ -1,0 +1,219 @@
+// Cross-module integration and property tests: every scheduler, run
+// end-to-end through the simulator on shared workloads, must satisfy the
+// same global invariants.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "scheduler/baselines.h"
+#include "scheduler/gittins.h"
+#include "scheduler/muri.h"
+#include "sim/simulator.h"
+
+namespace muri {
+namespace {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "FIFO") return std::make_unique<FifoScheduler>();
+  if (name == "SRTF") return std::make_unique<SrtfScheduler>();
+  if (name == "SRSF") return std::make_unique<SrsfScheduler>();
+  if (name == "Tiresias") return std::make_unique<TiresiasScheduler>();
+  if (name == "Themis") return std::make_unique<ThemisScheduler>();
+  if (name == "AntMan") return std::make_unique<AntManScheduler>();
+  if (name == "Gittins") return std::make_unique<GittinsScheduler>();
+  MuriOptions opt;
+  opt.durations_known = name == "Muri-S";
+  return std::make_unique<MuriScheduler>(opt);
+}
+
+Trace small_trace(std::uint64_t seed, int jobs) {
+  PhillyTraceOptions opt;
+  opt.name = "integration";
+  opt.num_jobs = jobs;
+  opt.seed = seed;
+  opt.jobs_per_hour = 120;
+  opt.duration_log_mean = 6.0;
+  opt.duration_log_sigma = 1.0;
+  opt.max_duration = 2 * 3600;
+  // Keep jobs placeable on the small test cluster.
+  opt.gpu_count_weights = {0.7, 0.2, 0.1, 0.0, 0.0, 0.0};
+  return generate_philly_like(opt);
+}
+
+class SchedulerInvariantTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerInvariantTest, EveryJobCompletesExactlyOnce) {
+  const Trace trace = small_trace(11, 60);
+  auto scheduler = make_scheduler(GetParam());
+  SimOptions opt;
+  opt.cluster.num_machines = 2;
+  opt.cluster.gpus_per_machine = 4;
+  opt.schedule_interval = 120;
+  opt.durations_known = scheduler->needs_durations();
+  const SimResult r = run_simulation(trace, *scheduler, opt);
+  EXPECT_EQ(r.finished_jobs, 60) << GetParam();
+  EXPECT_EQ(r.unfinished_jobs, 0);
+  EXPECT_EQ(r.jcts.size(), 60u);
+}
+
+TEST_P(SchedulerInvariantTest, JctAtLeastComputeTime) {
+  // No job can finish faster than its pure solo compute time (work is
+  // never created from nothing, whatever the sharing model).
+  const Trace trace = small_trace(13, 40);
+  std::vector<double> min_jct;
+  for (const Job& j : trace.jobs) min_jct.push_back(j.solo_duration());
+
+  auto scheduler = make_scheduler(GetParam());
+  SimOptions opt;
+  opt.cluster.num_machines = 2;
+  opt.cluster.gpus_per_machine = 4;
+  opt.schedule_interval = 120;
+  opt.durations_known = scheduler->needs_durations();
+  const SimResult r = run_simulation(trace, *scheduler, opt);
+  ASSERT_EQ(r.finished_jobs, 40) << GetParam();
+  // JCTs are recorded in completion order; compare against the weakest
+  // bound (the smallest solo duration) per entry, and the sum bound
+  // overall: total JCT >= total solo time.
+  double total_solo = 0, total_jct = 0;
+  for (double s : min_jct) total_solo += s;
+  for (double j : r.jcts) total_jct += j;
+  EXPECT_GE(total_jct, total_solo * 0.999);
+}
+
+TEST_P(SchedulerInvariantTest, MakespanBoundedBySerialExecution) {
+  // Makespan can never exceed fully serial execution plus per-job restart
+  // overhead and round-granularity slack (a gross sanity bound).
+  const Trace trace = small_trace(17, 30);
+  auto scheduler = make_scheduler(GetParam());
+  SimOptions opt;
+  opt.cluster.num_machines = 2;
+  opt.cluster.gpus_per_machine = 4;
+  opt.schedule_interval = 120;
+  opt.durations_known = scheduler->needs_durations();
+  const SimResult r = run_simulation(trace, *scheduler, opt);
+  double serial = 0;
+  for (const Job& j : trace.jobs) serial += j.solo_duration();
+  // Uncoordinated sharing can slow pairs below serial efficiency, so
+  // allow a generous factor.
+  EXPECT_LT(r.makespan,
+            2.0 * serial + trace.jobs.size() * (opt.restart_penalty + 120))
+      << GetParam();
+}
+
+TEST_P(SchedulerInvariantTest, DeterministicAcrossRuns) {
+  const Trace trace = small_trace(19, 50);
+  SimOptions opt;
+  opt.cluster.num_machines = 2;
+  opt.cluster.gpus_per_machine = 4;
+  opt.schedule_interval = 120;
+
+  auto s1 = make_scheduler(GetParam());
+  opt.durations_known = s1->needs_durations();
+  const SimResult a = run_simulation(trace, *s1, opt);
+  auto s2 = make_scheduler(GetParam());
+  const SimResult b = run_simulation(trace, *s2, opt);
+  EXPECT_DOUBLE_EQ(a.avg_jct, b.avg_jct) << GetParam();
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_DOUBLE_EQ(a.avg_queue_length, b.avg_queue_length);
+}
+
+TEST_P(SchedulerInvariantTest, SurvivesFaultInjection) {
+  const Trace trace = small_trace(23, 40);
+  auto scheduler = make_scheduler(GetParam());
+  SimOptions opt;
+  opt.cluster.num_machines = 2;
+  opt.cluster.gpus_per_machine = 4;
+  opt.schedule_interval = 120;
+  opt.durations_known = scheduler->needs_durations();
+  opt.mtbf_hours = 0.5;  // aggressive: a running job fails every ~30 min
+  const SimResult r = run_simulation(trace, *scheduler, opt);
+  EXPECT_EQ(r.finished_jobs, 40) << GetParam();
+  EXPECT_GT(r.faults, 0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerInvariantTest,
+                         ::testing::Values("FIFO", "SRTF", "SRSF", "Tiresias",
+                                           "Themis", "AntMan", "Gittins",
+                                           "Muri-S", "Muri-L"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(FaultInjection, DisabledByDefault) {
+  const Trace trace = small_trace(29, 20);
+  FifoScheduler fifo;
+  SimOptions opt;
+  opt.cluster.num_machines = 1;
+  opt.cluster.gpus_per_machine = 4;
+  const SimResult r = run_simulation(trace, fifo, opt);
+  EXPECT_EQ(r.faults, 0);
+}
+
+TEST(FaultInjection, FaultsSlowTheWorkloadDown) {
+  const Trace trace = small_trace(31, 30);
+  SimOptions opt;
+  opt.cluster.num_machines = 1;
+  opt.cluster.gpus_per_machine = 4;
+  opt.schedule_interval = 120;
+
+  FifoScheduler clean;
+  const SimResult healthy = run_simulation(trace, clean, opt);
+  FifoScheduler faulty;
+  opt.mtbf_hours = 0.25;
+  const SimResult injected = run_simulation(trace, faulty, opt);
+  EXPECT_GT(injected.faults, 10);
+  EXPECT_GT(injected.makespan, healthy.makespan);
+}
+
+TEST(FaultInjection, DeterministicGivenSeed) {
+  const Trace trace = small_trace(37, 25);
+  SimOptions opt;
+  opt.cluster.num_machines = 1;
+  opt.cluster.gpus_per_machine = 4;
+  opt.mtbf_hours = 0.5;
+  FifoScheduler a, b;
+  const SimResult ra = run_simulation(trace, a, opt);
+  const SimResult rb = run_simulation(trace, b, opt);
+  EXPECT_EQ(ra.faults, rb.faults);
+  EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+}
+
+TEST(Integration, MuriBeatsFifoUnderContention) {
+  // The headline property on a contended mixed workload.
+  const Trace trace = small_trace(41, 80);
+  SimOptions opt;
+  opt.cluster.num_machines = 1;
+  opt.cluster.gpus_per_machine = 4;
+  opt.schedule_interval = 120;
+
+  FifoScheduler fifo;
+  const SimResult rf = run_simulation(trace, fifo, opt);
+  MuriScheduler muri{MuriOptions{}};
+  const SimResult rm = run_simulation(trace, muri, opt);
+  EXPECT_LT(rm.makespan, rf.makespan);
+  EXPECT_LT(rm.avg_jct, rf.avg_jct);
+}
+
+TEST(Integration, ProfilerNoiseFlowsThroughToScheduling) {
+  // With enormous noise and no cache, Muri's plans change; the workload
+  // still completes.
+  const Trace trace = small_trace(43, 40);
+  SimOptions opt;
+  opt.cluster.num_machines = 1;
+  opt.cluster.gpus_per_machine = 4;
+  opt.schedule_interval = 120;
+  opt.profiler.noise = 0.9;
+  opt.profiler.cache_by_model = false;
+  MuriScheduler muri{MuriOptions{}};
+  const SimResult r = run_simulation(trace, muri, opt);
+  EXPECT_EQ(r.finished_jobs, 40);
+  EXPECT_GT(r.profiler_sessions, 8);  // no cache: one session per job
+}
+
+}  // namespace
+}  // namespace muri

@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "interleave/efficiency.h"
+#include "common/rng.h"
+
+namespace muri {
+namespace {
+
+// Profiles from Figure 4 (two resource types: CPU and GPU), expressed in
+// our 4-resource vectors with storage/network zero.
+// Job A: 2 CPU, 1 GPU. Job B: 1 CPU, 2 GPU. Job C: 2 CPU, 1 GPU (same as
+// A). Job D: 1 CPU, 2 GPU (same as B).
+ResourceVector cpu_gpu(Duration cpu, Duration gpu) {
+  return {0, cpu, gpu, 0};
+}
+
+TEST(GroupPeriod, SingleJobIsSumOfStages) {
+  const auto plan = plan_interleave({cpu_gpu(2, 1)});
+  EXPECT_DOUBLE_EQ(plan.period, 3.0);
+}
+
+TEST(GroupPeriod, PerfectOverlapPaperFigure4GroupAB) {
+  // A(2 CPU,1 GPU) with B(1 CPU,2 GPU): period 3, both resources always
+  // busy, γ = 1 (§4.1 computes exactly this).
+  const auto plan = plan_interleave({cpu_gpu(2, 1), cpu_gpu(1, 2)});
+  EXPECT_DOUBLE_EQ(plan.period, 3.0);
+  EXPECT_DOUBLE_EQ(plan.efficiency, 1.0);
+}
+
+TEST(GroupPeriod, ImperfectOverlapPaperFigure4GroupAC) {
+  // A(2 CPU,1 GPU) with C(2 CPU,1 GPU): period 4, CPU idle 0, GPU idle
+  // 0.5, γ = 1 - (0 + 0.5)/2 = 0.75 (the paper's worked example).
+  const auto plan = plan_interleave({cpu_gpu(2, 1), cpu_gpu(2, 1)});
+  EXPECT_DOUBLE_EQ(plan.period, 4.0);
+  EXPECT_DOUBLE_EQ(plan.efficiency, 0.75);
+}
+
+TEST(PairwiseEfficiency, MatchesPlanInterleave) {
+  EXPECT_DOUBLE_EQ(pairwise_efficiency(cpu_gpu(2, 1), cpu_gpu(1, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(pairwise_efficiency(cpu_gpu(2, 1), cpu_gpu(2, 1)), 0.75);
+}
+
+TEST(Ordering, BestBeatsWorstPaperFigure6) {
+  // Figure 6: job A spends 2 units on CPU, 1 on the rest; job B spends 2
+  // on GPU, 1 on the rest. The best ordering overlaps perfectly (T = 5);
+  // a bad ordering wastes time (T > 5).
+  const ResourceVector a = {1, 2, 1, 1};  // storage, cpu, gpu, network
+  const ResourceVector b = {1, 1, 2, 1};
+  const auto best = plan_interleave({a, b}, OrderingPolicy::kBest);
+  const auto worst = plan_interleave({a, b}, OrderingPolicy::kWorst);
+  EXPECT_DOUBLE_EQ(best.period, 5.0);
+  EXPECT_GT(worst.period, best.period);
+  EXPECT_LT(worst.efficiency, best.efficiency);
+}
+
+TEST(Ordering, OffsetsAreDistinctAndAnchored) {
+  const ResourceVector a = {1, 2, 1, 1};
+  const ResourceVector b = {1, 1, 2, 1};
+  const ResourceVector c = {2, 1, 1, 1};
+  const auto plan = plan_interleave({a, b, c});
+  ASSERT_EQ(plan.offsets.size(), 3u);
+  EXPECT_EQ(plan.offsets[0], 0);
+  EXPECT_NE(plan.offsets[1], plan.offsets[2]);
+  EXPECT_NE(plan.offsets[0], plan.offsets[1]);
+  EXPECT_NE(plan.offsets[0], plan.offsets[2]);
+}
+
+TEST(Efficiency, FourComplementaryJobsReachGammaOne) {
+  // One job per bottleneck, complementary shapes (the Figure 1 scenario):
+  // the best rotation aligns every job's heavy stage into the same phase
+  // (job i at offset i), giving T = 3+1+1+1 = 6 with every resource busy
+  // 3+1+1+1 = 6 of 6 → γ = 1.
+  std::vector<ResourceVector> jobs = {
+      {3, 1, 1, 1}, {1, 3, 1, 1}, {1, 1, 3, 1}, {1, 1, 1, 3}};
+  const auto plan = plan_interleave(jobs);
+  EXPECT_DOUBLE_EQ(plan.period, 6.0);
+  EXPECT_DOUBLE_EQ(plan.efficiency, 1.0);
+}
+
+TEST(Efficiency, IdenticalRotationJobsPerfectlyInterleave) {
+  // Four jobs that each use every resource 1 unit: period 4, every
+  // resource busy 4/4 → γ = 1.
+  std::vector<ResourceVector> jobs(4, ResourceVector{1, 1, 1, 1});
+  const auto plan = plan_interleave(jobs);
+  EXPECT_DOUBLE_EQ(plan.period, 4.0);
+  EXPECT_DOUBLE_EQ(plan.efficiency, 1.0);
+}
+
+TEST(Efficiency, InactiveResourcesExcludedFromAverage) {
+  // Two-resource jobs must be scored over two resources (Eq. 2), not
+  // dragged down by untouched storage/network.
+  const auto gamma = pairwise_efficiency(cpu_gpu(1, 1), cpu_gpu(1, 1));
+  EXPECT_DOUBLE_EQ(gamma, 1.0);
+}
+
+TEST(Efficiency, GammaBounds) {
+  Rng rng(31);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int p = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    std::vector<ResourceVector> jobs;
+    for (int i = 0; i < p; ++i) {
+      ResourceVector v{};
+      for (int j = 0; j < kNumResources; ++j) {
+        v[static_cast<size_t>(j)] = rng.bernoulli(0.8) ? rng.uniform(0, 5) : 0;
+      }
+      jobs.push_back(v);
+    }
+    const auto plan = plan_interleave(jobs);
+    EXPECT_GE(plan.efficiency, 0.0);
+    EXPECT_LE(plan.efficiency, 1.0 + 1e-12);
+    EXPECT_GE(plan.period, 0.0);
+  }
+}
+
+TEST(Efficiency, PeriodAtLeastEveryJobsIterationTime) {
+  // The rotation period can never undercut any member's solo iteration
+  // time (each member runs each of its stages exactly once per period).
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<ResourceVector> jobs;
+    const int p = 2 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int i = 0; i < p; ++i) {
+      ResourceVector v{};
+      for (int j = 0; j < kNumResources; ++j) {
+        v[static_cast<size_t>(j)] = rng.uniform(0, 3);
+      }
+      jobs.push_back(v);
+    }
+    const auto plan = plan_interleave(jobs);
+    for (const auto& v : jobs) {
+      EXPECT_GE(plan.period + 1e-9, total(v));
+    }
+  }
+}
+
+TEST(Efficiency, BestOrderingNeverWorseThanWorst) {
+  Rng rng(123);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<ResourceVector> jobs;
+    const int p = 2 + static_cast<int>(rng.uniform_int(0, 2));
+    for (int i = 0; i < p; ++i) {
+      ResourceVector v{};
+      for (int j = 0; j < kNumResources; ++j) {
+        v[static_cast<size_t>(j)] = rng.uniform(0, 3);
+      }
+      jobs.push_back(v);
+    }
+    const auto best = plan_interleave(jobs, OrderingPolicy::kBest);
+    const auto worst = plan_interleave(jobs, OrderingPolicy::kWorst);
+    EXPECT_LE(best.period, worst.period + 1e-9);
+    EXPECT_GE(best.efficiency + 1e-9, worst.efficiency);
+  }
+}
+
+TEST(Efficiency, PeriodInvariantUnderCommonRotation) {
+  // Shifting every offset by the same amount only rotates phases.
+  const std::vector<ResourceVector> jobs = {{2, 1, 0.5, 1}, {1, 0.3, 2, 1}};
+  const Duration t01 = group_period(jobs, {0, 1});
+  const Duration t12 = group_period(jobs, {1, 2});
+  const Duration t23 = group_period(jobs, {2, 3});
+  const Duration t30 = group_period(jobs, {3, 0});
+  EXPECT_DOUBLE_EQ(t01, t12);
+  EXPECT_DOUBLE_EQ(t12, t23);
+  EXPECT_DOUBLE_EQ(t23, t30);
+}
+
+TEST(MergeProfiles, SumsElementwise) {
+  const auto merged = merge_profiles({{1, 2, 3, 4}, {4, 3, 2, 1}});
+  for (int j = 0; j < kNumResources; ++j) {
+    EXPECT_DOUBLE_EQ(merged[static_cast<size_t>(j)], 5.0);
+  }
+}
+
+TEST(MergeProfiles, EmptyIsZero) {
+  const auto merged = merge_profiles({});
+  EXPECT_DOUBLE_EQ(total(merged), 0.0);
+}
+
+TEST(Efficiency, FusedExampleFromSection41) {
+  // §4.1 "Fusing multiple jobs": E = 4 CPU then 2 GPU, F = 4 GPU then
+  // 2 CPU: interleaving efficiency is 1.
+  const auto gamma = pairwise_efficiency(cpu_gpu(4, 2), cpu_gpu(2, 4));
+  EXPECT_DOUBLE_EQ(gamma, 1.0);
+}
+
+TEST(Efficiency, EmptyGroup) {
+  const auto plan = plan_interleave({});
+  EXPECT_DOUBLE_EQ(plan.period, 0.0);
+  EXPECT_DOUBLE_EQ(plan.efficiency, 0.0);
+  EXPECT_TRUE(plan.offsets.empty());
+}
+
+}  // namespace
+}  // namespace muri

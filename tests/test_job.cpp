@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "job/job.h"
+#include "job/model.h"
+#include "job/trace.h"
+
+namespace muri {
+namespace {
+
+TEST(ModelZoo, NamesRoundTrip) {
+  for (ModelKind m : kAllModels) {
+    ModelKind parsed{};
+    ASSERT_TRUE(parse_model(to_string(m), parsed));
+    EXPECT_EQ(parsed, m);
+  }
+  ModelKind m{};
+  EXPECT_FALSE(parse_model("alexnet", m));
+}
+
+TEST(ModelZoo, BottlenecksMatchTable3) {
+  // Table 3: ResNet18/ShuffleNet storage, VGG16/19 network, Bert/GPT-2
+  // GPU, A2C/DQN CPU.
+  EXPECT_EQ(model_spec(ModelKind::kResNet18).bottleneck, Resource::kStorage);
+  EXPECT_EQ(model_spec(ModelKind::kShuffleNet).bottleneck, Resource::kStorage);
+  EXPECT_EQ(model_spec(ModelKind::kVgg16).bottleneck, Resource::kNetwork);
+  EXPECT_EQ(model_spec(ModelKind::kVgg19).bottleneck, Resource::kNetwork);
+  EXPECT_EQ(model_spec(ModelKind::kBert).bottleneck, Resource::kGpu);
+  EXPECT_EQ(model_spec(ModelKind::kGpt2).bottleneck, Resource::kGpu);
+  EXPECT_EQ(model_spec(ModelKind::kA2c).bottleneck, Resource::kCpu);
+  EXPECT_EQ(model_spec(ModelKind::kDqn).bottleneck, Resource::kCpu);
+}
+
+TEST(ModelZoo, ProfileBottleneckAgreesWithSpec) {
+  for (ModelKind m : kAllModels) {
+    const IterationProfile p = model_profile(m, 1);
+    EXPECT_EQ(p.bottleneck_resource(), model_spec(m).bottleneck)
+        << to_string(m);
+  }
+}
+
+TEST(ModelZoo, FractionsSumNearOneWithSlackOrOverlap) {
+  // Table 1 rows do not sum to 100%: idle gaps push the sum below 1
+  // (ShuffleNet 0.86), stage overlap above it (GPT-2 1.13).
+  for (ModelKind m : kAllModels) {
+    double sum = 0;
+    for (Resource r : kAllResources) {
+      sum += model_profile(m, 1).fraction(r);
+    }
+    EXPECT_GT(sum, 0.8) << to_string(m);
+    EXPECT_LT(sum, 1.2) << to_string(m);
+  }
+}
+
+TEST(ModelZoo, SpanIsTheIterationTime) {
+  for (ModelKind m : kAllModels) {
+    const IterationProfile p = model_profile(m, 1);
+    EXPECT_DOUBLE_EQ(p.iteration_time(), model_spec(m).base_iteration_time)
+        << to_string(m);
+  }
+}
+
+TEST(ModelZoo, ShuffleNetMatchesTable1Row) {
+  const IterationProfile p = model_profile(ModelKind::kShuffleNet, 1);
+  EXPECT_NEAR(p.duty(Resource::kStorage), 0.60, 1e-9);
+  EXPECT_NEAR(p.duty(Resource::kCpu), 0.18, 1e-9);
+  EXPECT_NEAR(p.duty(Resource::kGpu), 0.06, 1e-9);
+  EXPECT_NEAR(p.duty(Resource::kNetwork), 0.02, 1e-9);
+}
+
+TEST(ModelZoo, NetworkGrowsWithWorkers) {
+  for (ModelKind m : kAllModels) {
+    const auto p1 = model_profile(m, 1);
+    const auto p16 = model_profile(m, 16);
+    EXPECT_GE(p16.stage_time[static_cast<size_t>(Resource::kNetwork)],
+              p1.stage_time[static_cast<size_t>(Resource::kNetwork)]);
+    // Non-network stages unchanged.
+    EXPECT_DOUBLE_EQ(p16.stage_time[static_cast<size_t>(Resource::kGpu)],
+                     p1.stage_time[static_cast<size_t>(Resource::kGpu)]);
+  }
+}
+
+TEST(Job, SoloDurationAndGpuTime) {
+  Job j;
+  j.model = ModelKind::kGpt2;
+  j.num_gpus = 4;
+  j.iterations = 100;
+  j.profile = model_profile(j.model, j.num_gpus);
+  EXPECT_NEAR(j.solo_duration(), 100 * j.profile.iteration_time(), 1e-9);
+  EXPECT_DOUBLE_EQ(j.gpu_time(10.0), 40.0);
+}
+
+TEST(Job, PowerOfTwoCheck) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(32));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(-4));
+  EXPECT_FALSE(is_power_of_two(6));
+}
+
+TEST(Trace, GeneratorIsDeterministic) {
+  PhillyTraceOptions opt;
+  opt.num_jobs = 50;
+  opt.seed = 5;
+  const Trace a = generate_philly_like(opt);
+  const Trace b = generate_philly_like(opt);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].model, b.jobs[i].model);
+    EXPECT_EQ(a.jobs[i].num_gpus, b.jobs[i].num_gpus);
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit_time, b.jobs[i].submit_time);
+    EXPECT_EQ(a.jobs[i].iterations, b.jobs[i].iterations);
+  }
+}
+
+TEST(Trace, GeneratorBasicInvariants) {
+  PhillyTraceOptions opt;
+  opt.num_jobs = 300;
+  opt.seed = 17;
+  const Trace t = generate_philly_like(opt);
+  ASSERT_EQ(t.jobs.size(), 300u);
+  Time prev = -1;
+  for (const Job& j : t.jobs) {
+    EXPECT_GE(j.submit_time, prev);  // sorted arrivals
+    prev = j.submit_time;
+    EXPECT_TRUE(is_power_of_two(j.num_gpus));
+    EXPECT_LE(j.num_gpus, 32);
+    EXPECT_GE(j.iterations, 1);
+    EXPECT_GE(j.solo_duration(), opt.min_duration * 0.5);
+  }
+  EXPECT_GT(t.total_gpu_seconds(), 0.0);
+}
+
+TEST(Trace, GpuMixtureIsDominatedBySingleGpu) {
+  PhillyTraceOptions opt;
+  opt.num_jobs = 2000;
+  opt.seed = 23;
+  const Trace t = generate_philly_like(opt);
+  int single = 0;
+  for (const Job& j : t.jobs) {
+    if (j.num_gpus == 1) ++single;
+  }
+  EXPECT_GT(single, 1200);  // ~72%
+  EXPECT_LT(single, 1800);
+}
+
+TEST(Trace, DurationsAreHeavyTailed) {
+  PhillyTraceOptions opt;
+  opt.num_jobs = 2000;
+  opt.seed = 29;
+  const Trace t = generate_philly_like(opt);
+  std::vector<double> durations;
+  for (const Job& j : t.jobs) durations.push_back(j.solo_duration());
+  std::sort(durations.begin(), durations.end());
+  const double median = durations[durations.size() / 2];
+  const double p99 = durations[durations.size() * 99 / 100];
+  EXPECT_GT(p99 / median, 10.0);  // long tail
+}
+
+TEST(Trace, StandardTracesHavePaperJobCounts) {
+  EXPECT_EQ(standard_trace(1).jobs.size(), 992u);
+  EXPECT_EQ(standard_trace(4).jobs.size(), 5755u);
+  EXPECT_EQ(testbed_trace().jobs.size(), 400u);
+  EXPECT_THROW(standard_trace(0), std::invalid_argument);
+  EXPECT_THROW(standard_trace(5), std::invalid_argument);
+}
+
+TEST(Trace, ZeroArrivalsZerosAllSubmits) {
+  Trace t = zero_arrivals(standard_trace(1));
+  for (const Job& j : t.jobs) {
+    EXPECT_DOUBLE_EQ(j.submit_time, 0.0);
+  }
+  EXPECT_NE(t.name.find("zero"), std::string::npos);
+}
+
+TEST(Trace, RestrictModelsKeepsCountAndDuration) {
+  Trace t = standard_trace(1);
+  const size_t count = t.jobs.size();
+  std::vector<double> solo;
+  for (const Job& j : t.jobs) solo.push_back(j.solo_duration());
+
+  const std::vector<ModelKind> only = {ModelKind::kGpt2, ModelKind::kA2c};
+  Trace r = restrict_models(std::move(t), only, 99);
+  ASSERT_EQ(r.jobs.size(), count);
+  std::set<ModelKind> seen;
+  for (size_t i = 0; i < r.jobs.size(); ++i) {
+    seen.insert(r.jobs[i].model);
+    // Duration approximately preserved (re-quantized to iterations).
+    EXPECT_NEAR(r.jobs[i].solo_duration(), solo[i],
+                r.jobs[i].profile.iteration_time() + 1e-6);
+  }
+  for (ModelKind m : seen) {
+    EXPECT_TRUE(m == ModelKind::kGpt2 || m == ModelKind::kA2c);
+  }
+}
+
+TEST(Trace, CsvRoundTrip) {
+  PhillyTraceOptions opt;
+  opt.num_jobs = 40;
+  opt.seed = 3;
+  const Trace t = generate_philly_like(opt);
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "muri_trace_test.csv")
+          .string();
+  write_trace_csv(t, path);
+  const Trace back = read_trace_csv(path, "back");
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(back.jobs.size(), t.jobs.size());
+  for (size_t i = 0; i < t.jobs.size(); ++i) {
+    EXPECT_EQ(back.jobs[i].model, t.jobs[i].model);
+    EXPECT_EQ(back.jobs[i].num_gpus, t.jobs[i].num_gpus);
+    EXPECT_NEAR(back.jobs[i].submit_time, t.jobs[i].submit_time, 1e-3);
+    EXPECT_EQ(back.jobs[i].iterations, t.jobs[i].iterations);
+  }
+}
+
+TEST(Trace, ReadMissingFileThrows) {
+  EXPECT_THROW(read_trace_csv("/nonexistent/muri.csv", "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace muri

@@ -1,0 +1,195 @@
+// Focused properties of Algorithm 1's multi-round grouping and the Muri
+// scheduler's plan construction.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "interleave/efficiency.h"
+#include "job/model.h"
+#include "matching/brute_force.h"
+#include "scheduler/muri.h"
+
+namespace muri {
+namespace {
+
+std::vector<ResourceVector> zoo_profiles(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ResourceVector> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back(model_profile(kAllModels[static_cast<size_t>(
+                                    rng.uniform_int(0, kNumModels - 1))],
+                                1)
+                      .stage_time);
+  }
+  return out;
+}
+
+double grouping_gamma(const std::vector<ResourceVector>& profiles,
+                      const std::vector<std::vector<int>>& groups) {
+  double total = 0;
+  for (const auto& g : groups) {
+    if (g.size() < 2) continue;
+    std::vector<ResourceVector> members;
+    for (int idx : g) members.push_back(profiles[static_cast<size_t>(idx)]);
+    total += plan_interleave(members).efficiency;
+  }
+  return total;
+}
+
+TEST(MultiRoundGrouping, PartitionIsExactCover) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto profiles = zoo_profiles(33, seed);
+    for (int max_size : {2, 3, 4}) {
+      const auto groups = multi_round_grouping(profiles, max_size);
+      std::set<int> seen;
+      for (const auto& g : groups) {
+        EXPECT_LE(static_cast<int>(g.size()), max_size);
+        EXPECT_GE(g.size(), 1u);
+        for (int idx : g) {
+          EXPECT_TRUE(seen.insert(idx).second);
+          EXPECT_GE(idx, 0);
+          EXPECT_LT(idx, 33);
+        }
+      }
+      EXPECT_EQ(seen.size(), profiles.size());
+    }
+  }
+}
+
+TEST(MultiRoundGrouping, MostJobsEndUpInFullGroups) {
+  // With an even, well-mixed candidate set, the heuristic should build
+  // mostly max-size groups (that is what drives Muri's concurrency).
+  const auto profiles = zoo_profiles(64, 9);
+  const auto groups = multi_round_grouping(profiles, 4);
+  int in_full = 0;
+  for (const auto& g : groups) {
+    if (g.size() == 4) in_full += 4;
+  }
+  EXPECT_GE(in_full, 48);  // at least 75% in 4-groups
+}
+
+TEST(MultiRoundGrouping, NeverWorseThanHalfOfOptimum) {
+  // Against the NP-hard optimum on small instances, the heuristic's total
+  // group-gamma stays within a factor-2 (empirically ~0.65-0.8).
+  Rng rng(77);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto profiles = zoo_profiles(10, 100 + trial);
+    const auto heuristic = multi_round_grouping(profiles, 4);
+    const double hw = grouping_gamma(profiles, heuristic);
+    const Grouping optimal =
+        brute_force_grouping(10, 4, [&](const std::vector<int>& members) {
+          std::vector<ResourceVector> ms;
+          for (int idx : members) {
+            ms.push_back(profiles[static_cast<size_t>(idx)]);
+          }
+          return plan_interleave(ms).efficiency;
+        });
+    EXPECT_GE(hw, 0.5 * optimal.weight - 1e-9) << "trial " << trial;
+    EXPECT_LE(hw, optimal.weight + 1e-9);
+  }
+}
+
+TEST(MultiRoundGrouping, UnionWeightBeatsNothingForComplementarySet) {
+  // Four one-per-bottleneck jobs must end in a single 4-group whose gamma
+  // beats any split into two pairs.
+  std::vector<ResourceVector> profiles = {
+      {0.6, 0.1, 0.05, 0.05},
+      {0.05, 0.6, 0.1, 0.05},
+      {0.05, 0.1, 0.6, 0.05},
+      {0.05, 0.05, 0.1, 0.6},
+  };
+  const auto groups = multi_round_grouping(profiles, 4);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 4u);
+}
+
+TEST(MuriPlan, InterleavedGroupsCarryFullSchedules) {
+  MuriOptions opt;
+  opt.durations_known = true;
+  MuriScheduler muri(opt);
+  std::vector<JobView> queue;
+  for (int i = 0; i < 12; ++i) {
+    JobView v;
+    v.id = i;
+    v.num_gpus = 1;
+    v.remaining_time = 100 + i;
+    v.measured = model_profile(kAllModels[static_cast<size_t>(i) % 8], 1);
+    queue.push_back(v);
+  }
+  SchedulerContext ctx;
+  ctx.total_gpus = 2;
+  ctx.durations_known = true;
+  const auto plan = muri.schedule(queue, ctx);
+  bool saw_interleaved = false;
+  for (const auto& g : plan) {
+    if (g.mode != GroupMode::kInterleaved) continue;
+    saw_interleaved = true;
+    EXPECT_EQ(g.offsets.size(), g.members.size());
+    EXPECT_GE(g.slots.size(), g.members.size());
+    EXPECT_GT(g.planned_period, 0.0);
+    std::set<Resource> distinct_slots(g.slots.begin(), g.slots.end());
+    EXPECT_EQ(distinct_slots.size(), g.slots.size());
+    std::set<int> distinct_offsets(g.offsets.begin(), g.offsets.end());
+    EXPECT_EQ(distinct_offsets.size(), g.offsets.size());
+  }
+  EXPECT_TRUE(saw_interleaved);
+}
+
+TEST(MuriPlan, CandidateCapBoundsGroupedJobs) {
+  MuriOptions opt;
+  opt.durations_known = true;
+  opt.candidate_cap = 8;
+  MuriScheduler muri(opt);
+  std::vector<JobView> queue;
+  for (int i = 0; i < 40; ++i) {
+    JobView v;
+    v.id = i;
+    v.num_gpus = 1;
+    v.remaining_time = 50 + i;
+    v.measured = model_profile(kAllModels[static_cast<size_t>(i) % 8], 1);
+    queue.push_back(v);
+  }
+  SchedulerContext ctx;
+  ctx.total_gpus = 2;
+  ctx.durations_known = true;
+  const auto plan = muri.schedule(queue, ctx);
+  int grouped_jobs = 0;
+  for (const auto& g : plan) {
+    if (g.members.size() > 1) {
+      grouped_jobs += static_cast<int>(g.members.size());
+    }
+  }
+  EXPECT_LE(grouped_jobs, 8);
+}
+
+TEST(MuriPlan, AdmittedGpuBudgetRespectsCluster) {
+  // The first groups in plan order (until the first unfit) must fit the
+  // cluster budget thanks to budgeted admission.
+  MuriOptions opt;
+  MuriScheduler muri(opt);
+  std::vector<JobView> queue;
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    JobView v;
+    v.id = i;
+    v.num_gpus = 1 << rng.uniform_int(0, 2);  // 1/2/4
+    v.attained_service = rng.uniform(0, 1000);
+    v.measured = model_profile(kAllModels[static_cast<size_t>(i) % 8],
+                               v.num_gpus);
+    queue.push_back(v);
+  }
+  SchedulerContext ctx;
+  ctx.total_gpus = 8;
+  const auto plan = muri.schedule(queue, ctx);
+  int budget_used = 0;
+  for (const auto& g : plan) {
+    if (budget_used + g.num_gpus > ctx.total_gpus) break;
+    budget_used += g.num_gpus;
+  }
+  EXPECT_LE(budget_used, ctx.total_gpus);
+  EXPECT_GE(budget_used, ctx.total_gpus / 2);  // not trivially empty
+}
+
+}  // namespace
+}  // namespace muri

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "profiler/profiler.h"
+
+namespace muri {
+namespace {
+
+Job make_job(ModelKind m, int gpus) {
+  Job j;
+  j.id = 0;
+  j.model = m;
+  j.num_gpus = gpus;
+  j.iterations = 1000;
+  j.profile = model_profile(m, gpus);
+  return j;
+}
+
+TEST(Profiler, NoNoiseReturnsTruthAboveThreshold) {
+  ResourceProfiler::Options opt;
+  opt.noise = 0;
+  opt.zero_threshold = 0;
+  ResourceProfiler profiler(opt);
+  const Job j = make_job(ModelKind::kVgg16, 1);
+  const IterationProfile p = profiler.profile(j);
+  for (int r = 0; r < kNumResources; ++r) {
+    EXPECT_DOUBLE_EQ(p.stage_time[static_cast<size_t>(r)],
+                     j.profile.stage_time[static_cast<size_t>(r)]);
+  }
+}
+
+TEST(Profiler, ThresholdZeroesTinyStages) {
+  ResourceProfiler::Options opt;
+  opt.noise = 0;
+  opt.zero_threshold = 0.005;
+  ResourceProfiler profiler(opt);
+  // GPT-2 has storage/cpu fractions of ~0.1% — below the 0.5% threshold.
+  const Job j = make_job(ModelKind::kGpt2, 1);
+  const IterationProfile p = profiler.profile(j);
+  EXPECT_DOUBLE_EQ(p.stage_time[static_cast<size_t>(Resource::kStorage)], 0.0);
+  EXPECT_DOUBLE_EQ(p.stage_time[static_cast<size_t>(Resource::kCpu)], 0.0);
+  EXPECT_GT(p.stage_time[static_cast<size_t>(Resource::kGpu)], 0.0);
+}
+
+TEST(Profiler, CacheAvoidsRepeatSessions) {
+  ResourceProfiler profiler;  // defaults: cache on
+  Job j = make_job(ModelKind::kBert, 2);
+  profiler.profile(j);
+  EXPECT_EQ(profiler.sessions(), 1);
+  j.id = 42;  // different job, same model+gpus
+  profiler.profile(j);
+  EXPECT_EQ(profiler.sessions(), 1);
+  // Different GPU count is a different profile.
+  j.num_gpus = 4;
+  j.profile = model_profile(j.model, 4);
+  profiler.profile(j);
+  EXPECT_EQ(profiler.sessions(), 2);
+}
+
+TEST(Profiler, CacheDisabledReprofilesEachCall) {
+  ResourceProfiler::Options opt;
+  opt.cache_by_model = false;
+  ResourceProfiler profiler(opt);
+  const Job j = make_job(ModelKind::kBert, 2);
+  profiler.profile(j);
+  profiler.profile(j);
+  EXPECT_EQ(profiler.sessions(), 2);
+}
+
+TEST(Profiler, ClearCacheForcesNewSession) {
+  ResourceProfiler profiler;
+  const Job j = make_job(ModelKind::kA2c, 1);
+  profiler.profile(j);
+  profiler.clear_cache();
+  profiler.profile(j);
+  EXPECT_EQ(profiler.sessions(), 2);
+}
+
+TEST(Profiler, NoiseBoundsRespected) {
+  ResourceProfiler::Options opt;
+  opt.noise = 0.5;
+  opt.cache_by_model = false;
+  opt.zero_threshold = 0;
+  opt.seed = 3;
+  ResourceProfiler profiler(opt);
+  const Job j = make_job(ModelKind::kVgg19, 1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const IterationProfile p = profiler.profile(j);
+    for (int r = 0; r < kNumResources; ++r) {
+      const Duration truth = j.profile.stage_time[static_cast<size_t>(r)];
+      const Duration measured = p.stage_time[static_cast<size_t>(r)];
+      EXPECT_GE(measured, truth * 0.5 - 1e-12);
+      EXPECT_LE(measured, truth * 1.5 + 1e-12);
+    }
+  }
+}
+
+TEST(Profiler, NoiseActuallyPerturbs) {
+  ResourceProfiler::Options opt;
+  opt.noise = 0.5;
+  opt.cache_by_model = false;
+  ResourceProfiler profiler(opt);
+  const Job j = make_job(ModelKind::kVgg19, 1);
+  const IterationProfile a = profiler.profile(j);
+  const IterationProfile b = profiler.profile(j);
+  EXPECT_NE(a.stage_time[static_cast<size_t>(Resource::kNetwork)],
+            b.stage_time[static_cast<size_t>(Resource::kNetwork)]);
+}
+
+TEST(Profiler, ProfilingTimeAccumulates) {
+  ResourceProfiler::Options opt;
+  opt.dry_run_iterations = 10;
+  ResourceProfiler profiler(opt);
+  const Job j = make_job(ModelKind::kResNet18, 1);
+  profiler.profile(j);
+  EXPECT_NEAR(profiler.profiling_time(), 10 * j.profile.iteration_time(),
+              1e-9);
+}
+
+TEST(Profiler, DeterministicAcrossInstances) {
+  ResourceProfiler::Options opt;
+  opt.noise = 0.3;
+  opt.cache_by_model = false;
+  opt.seed = 77;
+  ResourceProfiler p1(opt), p2(opt);
+  const Job j = make_job(ModelKind::kDqn, 1);
+  const IterationProfile a = p1.profile(j);
+  const IterationProfile b = p2.profile(j);
+  for (int r = 0; r < kNumResources; ++r) {
+    EXPECT_DOUBLE_EQ(a.stage_time[static_cast<size_t>(r)],
+                     b.stage_time[static_cast<size_t>(r)]);
+  }
+}
+
+}  // namespace
+}  // namespace muri

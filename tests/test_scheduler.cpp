@@ -1,0 +1,332 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scheduler/baselines.h"
+#include "scheduler/muri.h"
+
+namespace muri {
+namespace {
+
+JobView view(JobId id, int gpus, Time submit, Duration remaining,
+             double attained = 0, ModelKind model = ModelKind::kResNet18) {
+  JobView v;
+  v.id = id;
+  v.num_gpus = gpus;
+  v.submit_time = submit;
+  v.remaining_time = remaining;
+  v.attained_service = attained;
+  v.measured = model_profile(model, gpus);
+  return v;
+}
+
+SchedulerContext ctx(int gpus, bool known = false) {
+  SchedulerContext c;
+  c.total_gpus = gpus;
+  c.gpus_per_machine = 8;
+  c.durations_known = known;
+  return c;
+}
+
+std::set<JobId> scheduled_ids(const std::vector<PlannedGroup>& plan) {
+  std::set<JobId> ids;
+  for (const auto& g : plan) {
+    for (JobId id : g.members) ids.insert(id);
+  }
+  return ids;
+}
+
+int total_group_gpus(const std::vector<PlannedGroup>& plan) {
+  int sum = 0;
+  for (const auto& g : plan) sum += g.num_gpus;
+  return sum;
+}
+
+TEST(Fifo, OrdersBySubmitTime) {
+  std::vector<JobView> q = {view(0, 1, 100, 10), view(1, 1, 50, 10),
+                            view(2, 1, 75, 10)};
+  FifoScheduler fifo;
+  const auto plan = fifo.schedule(q, ctx(2));
+  // Only 2 GPUs: jobs 1 (t=50) and 2 (t=75) admitted.
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{1, 2}));
+}
+
+TEST(Srtf, PrefersShortRemaining) {
+  std::vector<JobView> q = {view(0, 1, 0, 100), view(1, 1, 0, 5),
+                            view(2, 1, 0, 50)};
+  SrtfScheduler srtf;
+  const auto plan = srtf.schedule(q, ctx(2));
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{1, 2}));
+  EXPECT_TRUE(srtf.needs_durations());
+}
+
+TEST(Srsf, WeighsByGpuCount) {
+  // Job 0: 2 GPUs × 10s = 20 service; job 1: 1 GPU × 15s = 15 service.
+  std::vector<JobView> q = {view(0, 2, 0, 10), view(1, 1, 0, 15)};
+  SrsfScheduler srsf;
+  const auto plan = srsf.schedule(q, ctx(1));
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{1}));
+}
+
+TEST(Srsf, BackfillsPastBigJob) {
+  // 3 free GPUs: an 8-GPU job cannot fit, but the later 1-GPU job can.
+  std::vector<JobView> q = {view(0, 8, 0, 5), view(1, 1, 0, 100)};
+  SrsfScheduler srsf;
+  const auto plan = srsf.schedule(q, ctx(3));
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{1}));
+}
+
+TEST(Tiresias, DemotesLongRunningJobs) {
+  // Job 0 has consumed 2h of GPU time (beyond the 1h threshold) so the
+  // fresh job 1 outranks it despite arriving later.
+  std::vector<JobView> q = {view(0, 1, 0, 0, 2 * 3600.0),
+                            view(1, 1, 100, 0, 0.0)};
+  TiresiasScheduler tiresias;
+  const auto plan = tiresias.schedule(q, ctx(1));
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{1}));
+}
+
+TEST(Tiresias, FifoWithinSameQueue) {
+  std::vector<JobView> q = {view(0, 1, 200, 0, 10.0),
+                            view(1, 1, 100, 0, 20.0)};
+  TiresiasScheduler tiresias;
+  const auto plan = tiresias.schedule(q, ctx(1));
+  // Both in the first queue (<1h attained): earlier submit wins.
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{1}));
+}
+
+TEST(Themis, PrefersStarvedJobs) {
+  JobView starved = view(0, 1, 0, 0, 0.0);
+  starved.age = 10000;  // waited long, got nothing
+  JobView fed = view(1, 1, 0, 0, 9000.0);
+  fed.age = 10000;
+  ThemisScheduler themis;
+  const auto plan = themis.schedule({fed, starved}, ctx(1));
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{0}));
+}
+
+TEST(PlacementOrder, DescendingGpuDemand) {
+  std::vector<JobView> q = {view(0, 1, 0, 10), view(1, 8, 1, 10),
+                            view(2, 4, 2, 10)};
+  FifoScheduler fifo;
+  const auto plan = fifo.schedule(q, ctx(16));
+  ASSERT_EQ(plan.size(), 3u);
+  EXPECT_EQ(plan[0].num_gpus, 8);
+  EXPECT_EQ(plan[1].num_gpus, 4);
+  EXPECT_EQ(plan[2].num_gpus, 1);
+}
+
+TEST(AntMan, NonPreemptiveFifoAdmission) {
+  AntManScheduler antman;
+  std::vector<JobView> q = {view(0, 1, 0, 10), view(1, 1, 5, 10)};
+  auto plan = antman.schedule(q, ctx(1));
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{0, 1}));
+  // Both run: one exclusive would exceed capacity, so job 1 shares.
+  bool has_shared = false;
+  for (const auto& g : plan) {
+    if (g.mode == GroupMode::kUncoordinated) {
+      has_shared = true;
+      EXPECT_EQ(g.members.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(has_shared);
+}
+
+TEST(AntMan, SharingCapRespected) {
+  AntManScheduler antman;
+  std::vector<JobView> q = {view(0, 1, 0, 10), view(1, 1, 1, 10),
+                            view(2, 1, 2, 10)};
+  auto plan = antman.schedule(q, ctx(1));
+  // Capacity 1 GPU, sharing cap 2: only two jobs admitted.
+  EXPECT_EQ(scheduled_ids(plan).size(), 2u);
+}
+
+TEST(AntMan, KeepsRunningJobsAcrossRounds) {
+  AntManScheduler antman;
+  std::vector<JobView> q1 = {view(5, 1, 0, 10)};
+  antman.schedule(q1, ctx(1));
+  // A shorter job arrives; AntMan must not preempt job 5.
+  std::vector<JobView> q2 = {view(5, 1, 0, 10), view(6, 1, 1, 1)};
+  auto plan = antman.schedule(q2, ctx(1));
+  std::set<JobId> ids = scheduled_ids(plan);
+  EXPECT_TRUE(ids.count(5));
+}
+
+TEST(AntMan, ForgetsCompletedJobs) {
+  AntManScheduler antman;
+  antman.schedule({view(0, 1, 0, 10), view(1, 1, 1, 10)}, ctx(1));
+  // Job 0 completes; job 1 should get (or keep) the GPU, new job admitted.
+  auto plan = antman.schedule({view(1, 1, 1, 10), view(2, 1, 2, 10)}, ctx(1));
+  EXPECT_EQ(scheduled_ids(plan), (std::set<JobId>{1, 2}));
+}
+
+// --- Muri scheduler ---
+
+TEST(MultiRoundGrouping, PairsComplementaryJobs) {
+  // Figure 4 scenario: A and C are CPU-heavy, B and D are GPU-heavy.
+  std::vector<ResourceVector> profiles = {
+      {0, 2, 1, 0},  // A
+      {0, 1, 2, 0},  // B
+      {0, 2, 1, 0},  // C
+      {0, 1, 2, 0},  // D
+  };
+  const auto groups = multi_round_grouping(profiles, 2);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& g : groups) {
+    ASSERT_EQ(g.size(), 2u);
+    // Each group must mix one CPU-heavy with one GPU-heavy job.
+    const bool first_cpu_heavy = (g[0] % 2 == 0);
+    const bool second_cpu_heavy = (g[1] % 2 == 0);
+    EXPECT_NE(first_cpu_heavy, second_cpu_heavy);
+  }
+}
+
+TEST(MultiRoundGrouping, MaxGroupSizeRespected) {
+  std::vector<ResourceVector> profiles(9, ResourceVector{1, 1, 1, 1});
+  for (int max_size = 1; max_size <= 4; ++max_size) {
+    const auto groups = multi_round_grouping(profiles, max_size);
+    std::set<int> seen;
+    for (const auto& g : groups) {
+      EXPECT_LE(static_cast<int>(g.size()), max_size);
+      for (int idx : g) {
+        EXPECT_TRUE(seen.insert(idx).second) << "duplicate member";
+      }
+    }
+    EXPECT_EQ(seen.size(), profiles.size()) << "lost a job";
+  }
+}
+
+TEST(MultiRoundGrouping, FourJobsFormOneGroupOfFour) {
+  std::vector<ResourceVector> profiles = {
+      {3, 1, 1, 1}, {1, 3, 1, 1}, {1, 1, 3, 1}, {1, 1, 1, 3}};
+  const auto groups = multi_round_grouping(profiles, 4);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].size(), 4u);
+}
+
+TEST(MultiRoundGrouping, EmptyAndSingleton) {
+  EXPECT_TRUE(multi_round_grouping({}, 4).empty());
+  const auto one = multi_round_grouping({ResourceVector{1, 1, 1, 1}}, 4);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], std::vector<int>{0});
+}
+
+TEST(Muri, FallsBackToExclusiveWhenUncontended) {
+  MuriOptions opt;
+  opt.durations_known = true;
+  MuriScheduler muri(opt);
+  std::vector<JobView> q = {view(0, 1, 0, 10), view(1, 1, 0, 20)};
+  const auto plan = muri.schedule(q, ctx(64, true));
+  ASSERT_EQ(plan.size(), 2u);
+  for (const auto& g : plan) {
+    EXPECT_EQ(g.mode, GroupMode::kExclusive);
+    EXPECT_EQ(g.members.size(), 1u);
+  }
+}
+
+TEST(Muri, GroupsUnderContention) {
+  MuriOptions opt;
+  opt.durations_known = true;
+  MuriScheduler muri(opt);
+  // 8 single-GPU jobs, 2 GPUs: grouping is the only way to run many.
+  std::vector<JobView> q;
+  const ModelKind models[4] = {ModelKind::kShuffleNet, ModelKind::kA2c,
+                               ModelKind::kGpt2, ModelKind::kVgg16};
+  for (int i = 0; i < 8; ++i) {
+    q.push_back(view(i, 1, 0, 100, 0, models[i % 4]));
+  }
+  const auto plan = muri.schedule(q, ctx(2, true));
+  bool has_interleaved = false;
+  for (const auto& g : plan) {
+    if (g.mode == GroupMode::kInterleaved) {
+      has_interleaved = true;
+      EXPECT_GE(g.members.size(), 2u);
+      EXPECT_LE(g.members.size(), 4u);
+      EXPECT_EQ(g.offsets.size(), g.members.size());
+    }
+  }
+  EXPECT_TRUE(has_interleaved);
+  EXPECT_GT(muri.matchings_run(), 0);
+}
+
+TEST(Muri, BucketsByGpuDemand) {
+  MuriOptions opt;
+  opt.durations_known = true;
+  MuriScheduler muri(opt);
+  std::vector<JobView> q;
+  for (int i = 0; i < 4; ++i) q.push_back(view(i, 1, 0, 100));
+  for (int i = 4; i < 8; ++i) q.push_back(view(i, 2, 0, 100));
+  const auto plan = muri.schedule(q, ctx(2, true));
+  for (const auto& g : plan) {
+    if (g.members.size() < 2) continue;
+    // All members of a group share one GPU demand.
+    std::set<int> demands;
+    for (JobId id : g.members) {
+      demands.insert(id < 4 ? 1 : 2);
+    }
+    EXPECT_EQ(demands.size(), 1u) << "mixed-size group with bucketing on";
+  }
+}
+
+TEST(Muri, NoBlossomPacksByPriority) {
+  MuriOptions opt;
+  opt.durations_known = true;
+  opt.use_blossom = false;
+  opt.max_group_size = 2;
+  MuriScheduler muri(opt);
+  // Priorities (remaining): j0 < j1 < j2 < j3; packing pairs (0,1), (2,3).
+  std::vector<JobView> q = {view(0, 1, 0, 10), view(1, 1, 0, 20),
+                            view(2, 1, 0, 30), view(3, 1, 0, 40)};
+  const auto plan = muri.schedule(q, ctx(1, true));
+  ASSERT_GE(plan.size(), 1u);
+  // The highest priority group must be {0,1}.
+  std::set<JobId> first(plan[0].members.begin(), plan[0].members.end());
+  EXPECT_EQ(first, (std::set<JobId>{0, 1}));
+  EXPECT_EQ(muri.matchings_run(), 0);
+}
+
+TEST(Muri, WorstOrderingProducesLongerPeriodPlan) {
+  MuriOptions best_opt;
+  best_opt.durations_known = true;
+  MuriOptions worst_opt = best_opt;
+  worst_opt.ordering = OrderingPolicy::kWorst;
+  MuriScheduler best(best_opt), worst(worst_opt);
+  EXPECT_NE(best.name(), worst.name());
+}
+
+TEST(Muri, NamesEncodeConfiguration) {
+  MuriOptions opt;
+  opt.durations_known = true;
+  EXPECT_EQ(MuriScheduler(opt).name(), "Muri-S");
+  opt.durations_known = false;
+  EXPECT_EQ(MuriScheduler(opt).name(), "Muri-L");
+  opt.max_group_size = 2;
+  EXPECT_EQ(MuriScheduler(opt).name(), "Muri-L-2");
+  opt.max_group_size = 4;
+  opt.use_blossom = false;
+  EXPECT_EQ(MuriScheduler(opt).name(), "Muri-L-noblossom");
+}
+
+TEST(Muri, GroupGpuBudgetNeverExceedsClusterWhenPlacedGreedily) {
+  MuriOptions opt;
+  opt.durations_known = true;
+  MuriScheduler muri(opt);
+  std::vector<JobView> q;
+  for (int i = 0; i < 40; ++i) {
+    q.push_back(view(i, 1, 0, 100 + i, 0,
+                     kAllModels[static_cast<size_t>(i) % kNumModels]));
+  }
+  const auto plan = muri.schedule(q, ctx(4, true));
+  // The plan may offer more groups than fit; but every job appears at
+  // most once.
+  std::set<JobId> seen;
+  for (const auto& g : plan) {
+    for (JobId id : g.members) {
+      EXPECT_TRUE(seen.insert(id).second);
+    }
+  }
+  (void)total_group_gpus(plan);
+}
+
+}  // namespace
+}  // namespace muri
