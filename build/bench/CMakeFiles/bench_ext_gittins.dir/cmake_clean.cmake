@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_gittins.dir/bench_ext_gittins.cpp.o"
+  "CMakeFiles/bench_ext_gittins.dir/bench_ext_gittins.cpp.o.d"
+  "bench_ext_gittins"
+  "bench_ext_gittins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_gittins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11.cpp" "bench/CMakeFiles/bench_fig11.dir/bench_fig11.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11.dir/bench_fig11.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/muri_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/muri_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/interleave/CMakeFiles/muri_interleave.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/muri_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/muri_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/muri_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/muri_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/muri_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/job/CMakeFiles/muri_job.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/muri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_bench_util.dir/bench_util.cpp.o"
+  "CMakeFiles/muri_bench_util.dir/bench_util.cpp.o.d"
+  "libmuri_bench_util.a"
+  "libmuri_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmuri_bench_util.a"
+)

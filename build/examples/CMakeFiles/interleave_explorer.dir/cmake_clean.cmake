@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interleave_explorer.dir/interleave_explorer.cpp.o"
+  "CMakeFiles/interleave_explorer.dir/interleave_explorer.cpp.o.d"
+  "interleave_explorer"
+  "interleave_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interleave_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_interleave.dir/live_interleave.cpp.o"
+  "CMakeFiles/live_interleave.dir/live_interleave.cpp.o.d"
+  "live_interleave"
+  "live_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/muri_cluster.dir/cluster.cpp.o.d"
+  "libmuri_cluster.a"
+  "libmuri_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

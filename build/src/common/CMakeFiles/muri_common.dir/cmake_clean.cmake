@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_common.dir/flags.cpp.o"
+  "CMakeFiles/muri_common.dir/flags.cpp.o.d"
+  "CMakeFiles/muri_common.dir/logging.cpp.o"
+  "CMakeFiles/muri_common.dir/logging.cpp.o.d"
+  "CMakeFiles/muri_common.dir/rng.cpp.o"
+  "CMakeFiles/muri_common.dir/rng.cpp.o.d"
+  "CMakeFiles/muri_common.dir/stats.cpp.o"
+  "CMakeFiles/muri_common.dir/stats.cpp.o.d"
+  "CMakeFiles/muri_common.dir/types.cpp.o"
+  "CMakeFiles/muri_common.dir/types.cpp.o.d"
+  "libmuri_common.a"
+  "libmuri_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_interleave.dir/efficiency.cpp.o"
+  "CMakeFiles/muri_interleave.dir/efficiency.cpp.o.d"
+  "libmuri_interleave.a"
+  "libmuri_interleave.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_interleave.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/job/job.cpp" "src/job/CMakeFiles/muri_job.dir/job.cpp.o" "gcc" "src/job/CMakeFiles/muri_job.dir/job.cpp.o.d"
+  "/root/repo/src/job/model.cpp" "src/job/CMakeFiles/muri_job.dir/model.cpp.o" "gcc" "src/job/CMakeFiles/muri_job.dir/model.cpp.o.d"
+  "/root/repo/src/job/trace.cpp" "src/job/CMakeFiles/muri_job.dir/trace.cpp.o" "gcc" "src/job/CMakeFiles/muri_job.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

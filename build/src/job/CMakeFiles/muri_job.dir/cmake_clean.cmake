@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_job.dir/job.cpp.o"
+  "CMakeFiles/muri_job.dir/job.cpp.o.d"
+  "CMakeFiles/muri_job.dir/model.cpp.o"
+  "CMakeFiles/muri_job.dir/model.cpp.o.d"
+  "CMakeFiles/muri_job.dir/trace.cpp.o"
+  "CMakeFiles/muri_job.dir/trace.cpp.o.d"
+  "libmuri_job.a"
+  "libmuri_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

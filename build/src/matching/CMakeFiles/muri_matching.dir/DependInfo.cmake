@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/matching/blossom.cpp" "src/matching/CMakeFiles/muri_matching.dir/blossom.cpp.o" "gcc" "src/matching/CMakeFiles/muri_matching.dir/blossom.cpp.o.d"
+  "/root/repo/src/matching/brute_force.cpp" "src/matching/CMakeFiles/muri_matching.dir/brute_force.cpp.o" "gcc" "src/matching/CMakeFiles/muri_matching.dir/brute_force.cpp.o.d"
+  "/root/repo/src/matching/graph.cpp" "src/matching/CMakeFiles/muri_matching.dir/graph.cpp.o" "gcc" "src/matching/CMakeFiles/muri_matching.dir/graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muri_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_matching.dir/blossom.cpp.o"
+  "CMakeFiles/muri_matching.dir/blossom.cpp.o.d"
+  "CMakeFiles/muri_matching.dir/brute_force.cpp.o"
+  "CMakeFiles/muri_matching.dir/brute_force.cpp.o.d"
+  "CMakeFiles/muri_matching.dir/graph.cpp.o"
+  "CMakeFiles/muri_matching.dir/graph.cpp.o.d"
+  "libmuri_matching.a"
+  "libmuri_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

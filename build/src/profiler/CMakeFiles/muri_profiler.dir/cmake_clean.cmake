@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_profiler.dir/profiler.cpp.o"
+  "CMakeFiles/muri_profiler.dir/profiler.cpp.o.d"
+  "libmuri_profiler.a"
+  "libmuri_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmuri_profiler.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_runtime.dir/executor.cpp.o"
+  "CMakeFiles/muri_runtime.dir/executor.cpp.o.d"
+  "libmuri_runtime.a"
+  "libmuri_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

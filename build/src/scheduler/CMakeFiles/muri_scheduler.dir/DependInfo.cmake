@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scheduler/baselines.cpp" "src/scheduler/CMakeFiles/muri_scheduler.dir/baselines.cpp.o" "gcc" "src/scheduler/CMakeFiles/muri_scheduler.dir/baselines.cpp.o.d"
+  "/root/repo/src/scheduler/gittins.cpp" "src/scheduler/CMakeFiles/muri_scheduler.dir/gittins.cpp.o" "gcc" "src/scheduler/CMakeFiles/muri_scheduler.dir/gittins.cpp.o.d"
+  "/root/repo/src/scheduler/muri.cpp" "src/scheduler/CMakeFiles/muri_scheduler.dir/muri.cpp.o" "gcc" "src/scheduler/CMakeFiles/muri_scheduler.dir/muri.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/muri_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/job/CMakeFiles/muri_job.dir/DependInfo.cmake"
+  "/root/repo/build/src/interleave/CMakeFiles/muri_interleave.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/muri_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_scheduler.dir/baselines.cpp.o"
+  "CMakeFiles/muri_scheduler.dir/baselines.cpp.o.d"
+  "CMakeFiles/muri_scheduler.dir/gittins.cpp.o"
+  "CMakeFiles/muri_scheduler.dir/gittins.cpp.o.d"
+  "CMakeFiles/muri_scheduler.dir/muri.cpp.o"
+  "CMakeFiles/muri_scheduler.dir/muri.cpp.o.d"
+  "libmuri_scheduler.a"
+  "libmuri_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

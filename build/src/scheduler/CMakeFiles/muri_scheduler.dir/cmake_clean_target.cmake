@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmuri_scheduler.a"
+)

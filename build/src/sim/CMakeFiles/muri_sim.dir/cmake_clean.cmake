@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/muri_sim.dir/fluid.cpp.o"
+  "CMakeFiles/muri_sim.dir/fluid.cpp.o.d"
+  "CMakeFiles/muri_sim.dir/simulator.cpp.o"
+  "CMakeFiles/muri_sim.dir/simulator.cpp.o.d"
+  "libmuri_sim.a"
+  "libmuri_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/muri_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gittins.dir/test_gittins.cpp.o"
+  "CMakeFiles/test_gittins.dir/test_gittins.cpp.o.d"
+  "test_gittins"
+  "test_gittins.pdb"
+  "test_gittins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gittins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_muri_grouping.dir/test_muri_grouping.cpp.o"
+  "CMakeFiles/test_muri_grouping.dir/test_muri_grouping.cpp.o.d"
+  "test_muri_grouping"
+  "test_muri_grouping.pdb"
+  "test_muri_grouping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_muri_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
