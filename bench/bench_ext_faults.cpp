@@ -1,7 +1,14 @@
-// Extension — fault-injection sweep (§3/§5 describe the executor's fault
-// path: report, terminate, requeue). How gracefully does each scheduler
-// degrade as the per-job MTBF shrinks? Muri's shorter queues mean a failed
-// job restarts sooner.
+// Extension — fault-injection sweeps (§3/§5 describe the executor's fault
+// path: report, terminate, requeue). Three robustness axes:
+//
+//  1. per-job MTBF: how gracefully does each scheduler degrade as running
+//     jobs crash and requeue? Muri's shorter queues mean a failed job
+//     restarts sooner.
+//  2. machine MTBF/MTTR: whole fault domains disappear — residents are
+//     evicted and requeued, capacity shrinks until repair (plus probation
+//     for repeat offenders).
+//  3. stragglers: transient per-resource slowdown windows inflate resident
+//     stage time without evicting anyone.
 #include <cstdio>
 
 #include "bench_util.h"
@@ -9,34 +16,101 @@
 using namespace muri;
 using namespace muri::bench;
 
+namespace {
+
+const std::vector<std::string> kNames = {"SRSF", "Tiresias", "Muri-L"};
+
+std::vector<SimResult> run_row(const Trace& trace,
+                               const SimOptions& proto) {
+  std::vector<SimResult> out;
+  for (const std::string& name : kNames) {
+    auto scheduler = make_scheduler(name);
+    SimOptions opt = proto;
+    // Rebuild the duration-knowledge default for this scheduler.
+    const SimOptions def = default_sim_options(scheduler->needs_durations());
+    opt.durations_known = def.durations_known;
+    out.push_back(run_simulation(trace, *scheduler, opt));
+  }
+  return out;
+}
+
+void print_norm_row(const char* label, const std::vector<SimResult>& row,
+                    const std::vector<double>& baseline) {
+  std::printf("%16s |", label);
+  for (size_t i = 0; i < row.size(); ++i) {
+    std::printf(" %9.2f", row[i].avg_jct / baseline[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
 int main() {
   Trace trace = testbed_trace();
   trace.jobs.resize(200);  // keep the sweep quick
 
   std::printf("Extension — scheduler robustness under fault injection\n");
   std::printf("(200-job testbed prefix; avg JCT normalized to the same "
-              "scheduler at MTBF = infinity)\n\n");
-  std::printf("%12s | %10s %10s %10s\n", "MTBF (h)", "SRSF", "Tiresias",
-              "Muri-L");
+              "scheduler with faults off)\n");
 
-  const std::vector<std::string> names = {"SRSF", "Tiresias", "Muri-L"};
-  std::vector<double> baseline(names.size(), 0);
-  for (double mtbf : {0.0, 24.0, 8.0, 2.0}) {
-    std::printf("%12s |", mtbf == 0 ? "inf" : std::to_string(mtbf).substr(0, 4).c_str());
-    for (size_t i = 0; i < names.size(); ++i) {
-      auto scheduler = make_scheduler(names[i]);
-      SimOptions opt = default_sim_options(scheduler->needs_durations());
-      opt.mtbf_hours = mtbf;
-      const SimResult r = run_simulation(trace, *scheduler, opt);
-      if (mtbf == 0) {
-        baseline[i] = r.avg_jct;
-        std::printf(" %10.2f", 1.0);
-      } else {
-        std::printf(" %10.2f", r.avg_jct / baseline[i]);
-      }
-    }
-    std::printf("\n");
+  // Fault-free baseline, shared by all three sweeps.
+  const SimOptions clean = default_sim_options(false);
+  const std::vector<SimResult> base = run_row(trace, clean);
+  std::vector<double> baseline;
+  for (const SimResult& r : base) baseline.push_back(r.avg_jct);
+
+  // -- Sweep 1: per-job crashes ---------------------------------------------
+  std::printf("\n[1] per-job faults (requeue + restart penalty)\n");
+  std::printf("%16s | %9s %9s %9s\n", "job MTBF (h)", "SRSF", "Tiresias",
+              "Muri-L");
+  print_norm_row("inf", base, baseline);
+  for (double mtbf : {24.0, 8.0, 2.0}) {
+    SimOptions opt = clean;
+    opt.mtbf_hours = mtbf;
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f", mtbf);
+    print_norm_row(label, run_row(trace, opt), baseline);
   }
+
+  // -- Sweep 2: machine fault domains ---------------------------------------
+  std::printf("\n[2] machine crash/recover (evict + requeue residents; "
+              "MTTR 0.5 h, blacklist after 3)\n");
+  std::printf("%16s | %9s %9s %9s   failures evictions\n", "machine MTBF (h)",
+              "SRSF", "Tiresias", "Muri-L");
+  print_norm_row("inf", base, baseline);
+  for (double mtbf : {48.0, 16.0, 6.0}) {
+    SimOptions opt = clean;
+    opt.machine_faults.machine_mtbf_hours = mtbf;
+    opt.machine_faults.machine_mttr_hours = 0.5;
+    const std::vector<SimResult> row = run_row(trace, opt);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.0f", mtbf);
+    std::printf("%16s |", label);
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf(" %9.2f", row[i].avg_jct / baseline[i]);
+    }
+    // Event counts are scheduler-independent draws, but eviction counts
+    // depend on placement; report the Muri-L run's tallies.
+    std::printf("   %8lld %9lld\n",
+                static_cast<long long>(row.back().machine_failures),
+                static_cast<long long>(row.back().evictions));
+  }
+
+  // -- Sweep 3: stragglers --------------------------------------------------
+  std::printf("\n[3] transient stragglers (mean window 30 min, per-resource "
+              "slowdown up to 3x)\n");
+  std::printf("%16s | %9s %9s %9s\n", "windows/mach/h", "SRSF", "Tiresias",
+              "Muri-L");
+  print_norm_row("0", base, baseline);
+  for (double rate : {0.1, 0.5, 2.0}) {
+    SimOptions opt = clean;
+    opt.machine_faults.straggler_rate_per_hour = rate;
+    opt.machine_faults.straggler_severity = 3.0;
+    char label[32];
+    std::snprintf(label, sizeof label, "%.1f", rate);
+    print_norm_row(label, run_row(trace, opt), baseline);
+  }
+
   std::printf("\nAll schedulers finish every job; lower growth = more "
               "graceful degradation.\n");
   return 0;

@@ -13,8 +13,44 @@ Cluster::Cluster(ClusterSpec spec)
                  kNoOwner),
       machine_free_(static_cast<size_t>(spec.num_machines),
                     spec.gpus_per_machine),
+      machine_out_(static_cast<size_t>(spec.num_machines), false),
+      available_machines_(spec.num_machines),
       free_gpus_(spec.num_machines * spec.gpus_per_machine) {
   assert(spec.num_machines > 0 && spec.gpus_per_machine > 0);
+}
+
+void Cluster::set_machine_available(MachineId m, bool available) {
+  assert(m >= 0 && m < spec_.num_machines);
+  const auto idx = static_cast<size_t>(m);
+  if (machine_out_[idx] == !available) return;
+  if (!available) {
+    free_gpus_ -= machine_free_[idx];
+    machine_free_[idx] = 0;
+    machine_out_[idx] = true;
+    --available_machines_;
+  } else {
+    machine_out_[idx] = false;
+    ++available_machines_;
+    // Restore free slots for GPUs nobody still owns (owners evicted before
+    // the machine left the pool keep nothing here).
+    int free = 0;
+    for (int i = 0; i < spec_.gpus_per_machine; ++i) {
+      if (gpu_owner_[static_cast<size_t>(first_gpu(m) + i)] == kNoOwner) {
+        ++free;
+      }
+    }
+    machine_free_[idx] = free;
+    free_gpus_ += free;
+  }
+}
+
+bool Cluster::machine_available(MachineId m) const {
+  assert(m >= 0 && m < spec_.num_machines);
+  return !machine_out_[static_cast<size_t>(m)];
+}
+
+int Cluster::available_gpus() const {
+  return available_machines_ * spec_.gpus_per_machine;
 }
 
 int Cluster::free_gpus_on(MachineId m) const {
@@ -103,17 +139,23 @@ void Cluster::release(OwnerId owner) {
   for (GpuId g = 0; g < total_gpus(); ++g) {
     if (gpu_owner_[static_cast<size_t>(g)] == owner) {
       gpu_owner_[static_cast<size_t>(g)] = kNoOwner;
-      ++machine_free_[static_cast<size_t>(machine_of(g))];
-      ++free_gpus_;
+      const auto m = static_cast<size_t>(machine_of(g));
+      // GPUs on out-of-pool machines stay unallocatable until recovery.
+      if (!machine_out_[m]) {
+        ++machine_free_[m];
+        ++free_gpus_;
+      }
     }
   }
 }
 
 void Cluster::reset() {
   std::fill(gpu_owner_.begin(), gpu_owner_.end(), kNoOwner);
-  std::fill(machine_free_.begin(), machine_free_.end(),
-            spec_.gpus_per_machine);
-  free_gpus_ = total_gpus();
+  free_gpus_ = 0;
+  for (size_t m = 0; m < machine_free_.size(); ++m) {
+    machine_free_[m] = machine_out_[m] ? 0 : spec_.gpus_per_machine;
+    free_gpus_ += machine_free_[m];
+  }
 }
 
 std::vector<GpuId> Cluster::gpus_of(OwnerId owner) const {

@@ -40,6 +40,16 @@ class Cluster {
   int free_gpus() const noexcept { return free_gpus_; }
   int free_gpus_on(MachineId m) const;
 
+  // Fault-domain pool membership: a machine taken out of the pool (crash,
+  // blacklist) contributes no free GPUs and is skipped by allocation.
+  // Taking a machine out does NOT release its current owners — evict them
+  // first (release) so their GPUs do not leak back on recovery.
+  void set_machine_available(MachineId m, bool available);
+  bool machine_available(MachineId m) const;
+  int available_machines() const noexcept { return available_machines_; }
+  // GPUs on in-pool machines (allocated or free).
+  int available_gpus() const;
+
   MachineId machine_of(GpuId g) const;
   OwnerId owner_of(GpuId g) const;
 
@@ -79,7 +89,9 @@ class Cluster {
 
   ClusterSpec spec_;
   std::vector<OwnerId> gpu_owner_;   // indexed by GpuId
-  std::vector<int> machine_free_;    // free GPUs per machine
+  std::vector<int> machine_free_;    // free GPUs per machine (0 when out)
+  std::vector<bool> machine_out_;    // out of the allocatable pool
+  int available_machines_ = 0;
   int free_gpus_ = 0;
 };
 

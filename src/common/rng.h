@@ -9,6 +9,18 @@
 
 namespace muri {
 
+// Derives an independent substream seed from (seed, salt) via a SplitMix64
+// finalizer. Components that own one stream per entity (per job, per
+// machine) key it this way so that adding or removing entity k never
+// perturbs the draws of entity k+1.
+inline std::uint64_t substream_seed(std::uint64_t seed,
+                                    std::uint64_t salt) noexcept {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (salt + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 // Thin wrapper over a fixed-algorithm engine (mt19937_64) so the stream is
 // stable across standard libraries and platforms.
 class Rng {

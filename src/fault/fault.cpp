@@ -1,0 +1,123 @@
+#include "fault/fault.h"
+
+#include <cassert>
+#include <limits>
+
+namespace muri {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+FaultInjector::FaultInjector(int num_machines, FaultInjectorOptions options,
+                             Time start)
+    : options_(options) {
+  assert(num_machines > 0);
+  crash_rate_ = options_.machine_mtbf_hours > 0
+                    ? 1.0 / (options_.machine_mtbf_hours * 3600.0)
+                    : 0.0;
+  repair_rate_ = options_.machine_mttr_hours > 0
+                     ? 1.0 / (options_.machine_mttr_hours * 3600.0)
+                     : 0.0;
+  straggler_rate_ = options_.straggler_rate_per_hour > 0
+                        ? options_.straggler_rate_per_hour / 3600.0
+                        : 0.0;
+  enabled_ = crash_rate_ > 0 || straggler_rate_ > 0;
+  if (!enabled_) return;
+
+  machines_.resize(static_cast<size_t>(num_machines));
+  for (MachineId m = 0; m < num_machines; ++m) {
+    MachineProcess& proc = machines_[static_cast<size_t>(m)];
+    proc.rng = Rng(substream_seed(options_.seed, static_cast<std::uint64_t>(m)));
+    proc.next_crash =
+        crash_rate_ > 0 ? start + proc.rng.exponential(crash_rate_) : kInf;
+    proc.next_straggler = straggler_rate_ > 0
+                              ? start + proc.rng.exponential(straggler_rate_)
+                              : kInf;
+    push_next(m);
+  }
+}
+
+Time FaultInjector::next_time() const {
+  if (!enabled_ || heap_.empty()) return kInf;
+  return heap_.top().event.time;
+}
+
+FaultEvent FaultInjector::generate_next(MachineId m) {
+  MachineProcess& proc = machines_[static_cast<size_t>(m)];
+  FaultEvent e;
+  e.machine = m;
+
+  if (!proc.up) {
+    // Only repair can happen while down.
+    e.kind = FaultEvent::Kind::kMachineUp;
+    e.time = proc.next_repair;
+    proc.up = true;
+    proc.next_crash = e.time + proc.rng.exponential(crash_rate_);
+    if (straggler_rate_ > 0) {
+      proc.next_straggler = e.time + proc.rng.exponential(straggler_rate_);
+    }
+    return e;
+  }
+
+  if (proc.straggling) {
+    // A crash closes the window at the crash timestamp; the crash itself
+    // is emitted on the next call.
+    const Time end = std::min(proc.straggler_end, proc.next_crash);
+    e.kind = FaultEvent::Kind::kStragglerEnd;
+    e.time = end;
+    proc.straggling = false;
+    if (straggler_rate_ > 0) {
+      proc.next_straggler = end + proc.rng.exponential(straggler_rate_);
+    }
+    return e;
+  }
+
+  if (proc.next_crash <= proc.next_straggler) {
+    e.kind = FaultEvent::Kind::kMachineDown;
+    e.time = proc.next_crash;
+    proc.up = false;
+    proc.next_repair =
+        repair_rate_ > 0 ? e.time + proc.rng.exponential(repair_rate_)
+                         : e.time + options_.machine_mttr_hours * 3600.0;
+    return e;
+  }
+
+  e.kind = FaultEvent::Kind::kStragglerStart;
+  e.time = proc.next_straggler;
+  for (size_t r = 0; r < static_cast<size_t>(kNumResources); ++r) {
+    e.slowdown[r] =
+        proc.rng.uniform(1.0, std::max(1.0, options_.straggler_severity));
+  }
+  proc.straggling = true;
+  proc.straggler_end =
+      e.time + proc.rng.exponential(1.0 / options_.straggler_duration_s);
+  return e;
+}
+
+void FaultInjector::push_next(MachineId m) {
+  const MachineProcess& proc = machines_[static_cast<size_t>(m)];
+  // A machine with no pending process (crashes off and stragglers off)
+  // never produces events.
+  if (proc.up && proc.next_crash == kInf && proc.next_straggler == kInf &&
+      !proc.straggling) {
+    return;
+  }
+  Pending p;
+  p.event = generate_next(m);
+  heap_.push(p);
+}
+
+std::vector<FaultEvent> FaultInjector::pop_until(Time now) {
+  std::vector<FaultEvent> events;
+  while (!heap_.empty() && heap_.top().event.time <= now) {
+    events.push_back(heap_.top().event);
+    heap_.pop();
+    push_next(events.back().machine);
+  }
+  return events;
+}
+
+}  // namespace muri

@@ -1,0 +1,114 @@
+// Machine-level fault domains (§3/§5: the worker monitor "detects errors,
+// reports them to the scheduler, and pushes the job back to the queue").
+//
+// The paper's executor path only surfaces *job* errors; a production
+// cluster also loses whole machines and suffers transient stragglers
+// (slow disks, thermal throttling, congested NICs). This module generates
+// those events deterministically so robustness sweeps are reproducible:
+//
+//  - crash/recover: each machine alternates up -> down with exponential
+//    MTBF/MTTR holding times;
+//  - stragglers: while a machine is up, transient slowdown windows arrive
+//    as a Poisson process; each window carries per-resource slowdown
+//    factors (a slow disk inflates storage stages, a flaky NIC inflates
+//    network stages, ...).
+//
+// Every machine owns an independent RNG stream derived from (seed,
+// machine id), so adding machine k+1 to a sweep never perturbs the event
+// timeline of machines 0..k — the same property the simulator's per-job
+// fault streams have.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace muri {
+
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kMachineDown,     // machine crashed: evict residents, leave the pool
+    kMachineUp,       // machine repaired: candidate to rejoin the pool
+    kStragglerStart,  // transient slowdown window opens
+    kStragglerEnd,    // slowdown window closes
+  };
+  Kind kind = Kind::kMachineDown;
+  MachineId machine = kInvalidMachine;
+  Time time = 0;
+  // Per-resource slowdown factors (>= 1), kStragglerStart only.
+  ResourceVector slowdown{1.0, 1.0, 1.0, 1.0};
+};
+
+struct FaultInjectorOptions {
+  // Mean time between machine crashes, per machine, in hours; 0 disables
+  // the crash/recover process.
+  double machine_mtbf_hours = 0;
+  // Mean time to repair a crashed machine, in hours.
+  double machine_mttr_hours = 0.5;
+  // Straggler windows per machine per hour (Poisson); 0 disables.
+  double straggler_rate_per_hour = 0;
+  // Mean straggler window length in seconds (exponential).
+  double straggler_duration_s = 1800;
+  // Worst-case per-resource slowdown factor; each window draws each
+  // resource's factor uniformly from [1, severity].
+  double straggler_severity = 2.0;
+  std::uint64_t seed = 2024;
+};
+
+// Lazily generates the merged machine-event timeline. Events come out in
+// nondecreasing time order; a crash during an active straggler window
+// closes the window first (kStragglerEnd then kMachineDown at the same
+// timestamp).
+class FaultInjector {
+ public:
+  FaultInjector(int num_machines, FaultInjectorOptions options,
+                Time start = 0);
+
+  // True when at least one stochastic process is switched on.
+  bool enabled() const noexcept { return enabled_; }
+
+  // Timestamp of the earliest pending event; +inf when disabled.
+  Time next_time() const;
+
+  // Pops every event with time <= now, chronologically.
+  std::vector<FaultEvent> pop_until(Time now);
+
+  const FaultInjectorOptions& options() const noexcept { return options_; }
+
+ private:
+  // Per-machine renewal process: holds its own RNG and the next pending
+  // event; regenerates on consumption.
+  struct MachineProcess {
+    Rng rng{0};
+    bool up = true;
+    bool straggling = false;
+    Time next_crash = 0;       // +inf when crashes disabled
+    Time next_repair = 0;      // valid while down
+    Time next_straggler = 0;   // +inf when stragglers disabled
+    Time straggler_end = 0;    // valid while straggling
+  };
+
+  FaultEvent generate_next(MachineId m);
+  void push_next(MachineId m);
+
+  FaultInjectorOptions options_;
+  bool enabled_ = false;
+  double crash_rate_ = 0;      // events per second
+  double repair_rate_ = 0;
+  double straggler_rate_ = 0;
+  std::vector<MachineProcess> machines_;
+
+  struct Pending {
+    FaultEvent event;
+    bool operator>(const Pending& other) const {
+      if (event.time != other.event.time) return event.time > other.event.time;
+      return event.machine > other.event.machine;  // deterministic tie-break
+    }
+  };
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> heap_;
+};
+
+}  // namespace muri

@@ -1,0 +1,124 @@
+#include "fault/monitor.h"
+
+#include <cassert>
+#include <limits>
+
+namespace muri {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+std::string_view to_string(MachineHealth h) noexcept {
+  switch (h) {
+    case MachineHealth::kHealthy:
+      return "healthy";
+    case MachineHealth::kDegraded:
+      return "degraded";
+    case MachineHealth::kFailed:
+      return "failed";
+    case MachineHealth::kProbation:
+      return "probation";
+  }
+  return "unknown";
+}
+
+WorkerMonitor::WorkerMonitor(int num_machines, WorkerMonitorOptions options)
+    : options_(options), machines_(static_cast<size_t>(num_machines)) {
+  assert(num_machines > 0);
+}
+
+void WorkerMonitor::on_failure(MachineId m, Time now) {
+  (void)now;
+  MachineState& s = machines_.at(static_cast<size_t>(m));
+  // Strikes only accrue for failures while serving (healthy/degraded); a
+  // blacklisted machine is already out of the pool, so crashing there adds
+  // no new evidence against it.
+  if (s.health != MachineHealth::kProbation) ++s.failures;
+  s.health = MachineHealth::kFailed;
+  ++total_failures_;
+}
+
+void WorkerMonitor::on_recovery(MachineId m, Time now) {
+  MachineState& s = machines_.at(static_cast<size_t>(m));
+  assert(s.health == MachineHealth::kFailed);
+  if (options_.blacklist_after > 0 && s.failures >= options_.blacklist_after &&
+      options_.probation_s > 0) {
+    if (!s.in_probation) {
+      // Fresh blacklisting: the deadline is fixed ONCE on entry. Crashes
+      // during probation interrupt service of the sentence but do not
+      // extend it — a reset-on-crash policy livelocks the pool whenever
+      // MTBF is shorter than the window (the clock never runs out).
+      s.in_probation = true;
+      s.probation_until = now + options_.probation_s;
+      s.health = MachineHealth::kProbation;
+    } else if (s.probation_until <= now) {
+      // Deadline passed while the machine was down: exile is over.
+      s.in_probation = false;
+      s.failures = 0;
+      s.health = MachineHealth::kHealthy;
+    } else {
+      s.health = MachineHealth::kProbation;
+    }
+  } else {
+    s.health = MachineHealth::kHealthy;
+  }
+}
+
+void WorkerMonitor::on_straggler(MachineId m, bool active) {
+  MachineState& s = machines_.at(static_cast<size_t>(m));
+  // Straggler windows only matter while the machine serves jobs; a crash
+  // or probation already removed it from the pool.
+  if (s.health == MachineHealth::kHealthy && active) {
+    s.health = MachineHealth::kDegraded;
+  } else if (s.health == MachineHealth::kDegraded && !active) {
+    s.health = MachineHealth::kHealthy;
+  }
+}
+
+MachineHealth WorkerMonitor::health(MachineId m) const {
+  return machines_.at(static_cast<size_t>(m)).health;
+}
+
+bool WorkerMonitor::schedulable(MachineId m) const {
+  const MachineHealth h = health(m);
+  return h == MachineHealth::kHealthy || h == MachineHealth::kDegraded;
+}
+
+Time WorkerMonitor::next_probation_end() const {
+  Time next = kInf;
+  for (const MachineState& s : machines_) {
+    if (s.health == MachineHealth::kProbation) {
+      next = std::min(next, s.probation_until);
+    }
+  }
+  return next;
+}
+
+std::vector<MachineId> WorkerMonitor::end_probation(Time now) {
+  std::vector<MachineId> promoted;
+  for (MachineId m = 0; m < num_machines(); ++m) {
+    MachineState& s = machines_[static_cast<size_t>(m)];
+    if (s.health == MachineHealth::kProbation && s.probation_until <= now) {
+      s.health = MachineHealth::kHealthy;
+      s.failures = 0;  // served its sentence
+      s.in_probation = false;
+      promoted.push_back(m);
+    }
+  }
+  return promoted;
+}
+
+int WorkerMonitor::failures(MachineId m) const {
+  return machines_.at(static_cast<size_t>(m)).failures;
+}
+
+int WorkerMonitor::schedulable_machines() const {
+  int count = 0;
+  for (MachineId m = 0; m < num_machines(); ++m) {
+    if (schedulable(m)) ++count;
+  }
+  return count;
+}
+
+}  // namespace muri

@@ -1,0 +1,81 @@
+// Worker monitor (§5 "worker monitor" in the paper's system substrate).
+//
+// Tracks per-machine health as seen by the scheduler side: healthy,
+// degraded (straggling but usable), failed (crashed, out of the pool), or
+// on probation (repaired, but recently flaky — kept blacklisted until it
+// proves itself). Machines that fail repeatedly are blacklisted: after
+// `blacklist_after` strikes, the next recovery starts a probation window
+// during which the machine stays out of the allocatable pool. The deadline
+// is fixed when probation starts; crashes while blacklisted neither add
+// strikes nor extend the window (exile is bounded even when MTBF is much
+// shorter than the window). Reaching the deadline clears the strikes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace muri {
+
+enum class MachineHealth : std::uint8_t {
+  kHealthy,    // up, full speed, schedulable
+  kDegraded,   // up and schedulable, but inside a straggler window
+  kFailed,     // crashed; not schedulable
+  kProbation,  // repaired but blacklisted; not schedulable yet
+};
+
+std::string_view to_string(MachineHealth h) noexcept;
+
+struct WorkerMonitorOptions {
+  // Failures before recoveries start to incur probation; <= 0 disables
+  // the blacklist (recovered machines rejoin immediately).
+  int blacklist_after = 3;
+  // Blacklist window after a recovery once the threshold is reached.
+  Duration probation_s = 4 * 3600.0;
+};
+
+class WorkerMonitor {
+ public:
+  WorkerMonitor(int num_machines, WorkerMonitorOptions options = {});
+
+  int num_machines() const noexcept {
+    return static_cast<int>(machines_.size());
+  }
+
+  // Event intake from the executor/fault-injector side.
+  void on_failure(MachineId m, Time now);
+  void on_recovery(MachineId m, Time now);
+  void on_straggler(MachineId m, bool active);
+
+  MachineHealth health(MachineId m) const;
+  // Whether the scheduler may place work on `m` (healthy or degraded).
+  bool schedulable(MachineId m) const;
+
+  // Earliest pending probation expiry; +inf when none.
+  Time next_probation_end() const;
+  // Promotes machines whose probation expired by `now` back to healthy
+  // (clearing their strike counters) and returns them.
+  std::vector<MachineId> end_probation(Time now);
+
+  int failures(MachineId m) const;
+  std::int64_t total_failures() const noexcept { return total_failures_; }
+  int schedulable_machines() const;
+
+ private:
+  struct MachineState {
+    MachineHealth health = MachineHealth::kHealthy;
+    int failures = 0;
+    // True from blacklisting until the sentence is served; the deadline is
+    // fixed on entry — crashes during probation do not extend it (a
+    // reset-on-crash window livelocks the pool when MTBF < probation_s).
+    bool in_probation = false;
+    Time probation_until = 0;
+  };
+
+  WorkerMonitorOptions options_;
+  std::vector<MachineState> machines_;
+  std::int64_t total_failures_ = 0;
+};
+
+}  // namespace muri

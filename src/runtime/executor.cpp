@@ -66,6 +66,12 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
       ExecJobResult& out = results[i];
       out.name = spec.name;
       const Clock::time_point t_start = Clock::now();
+      // Injected fault: the wall-clock instant this thread dies.
+      const Clock::time_point t_kill =
+          spec.kill_after > 0
+              ? t_start + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(spec.kill_after))
+              : Clock::time_point::max();
 
       // Rotation axis: the planner's slots, or all four resources.
       std::vector<Resource> slots = options.slots;
@@ -77,8 +83,18 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
       if (options.coordinate) {
         // Phase-locked rotation: in phase `ph`, use slot
         // (offset + ph) mod S; barrier after every phase (§4.1).
-        while (!stop.load(std::memory_order_relaxed)) {
+        bool dropped = false;
+        while (!stop.load(std::memory_order_relaxed) && !dropped) {
           for (int ph = 0; ph < s; ++ph) {
+            // A dying member leaves at a phase boundary: arrive-and-drop
+            // shrinks the barrier so the survivors keep rotating with the
+            // dead member's slot idle — no deadlock.
+            if (Clock::now() >= t_kill) {
+              out.completed = false;
+              phase_barrier.arrive_and_drop();
+              dropped = true;
+              break;
+            }
             const auto r = static_cast<int>(
                 slots[static_cast<size_t>((spec.offset + ph) % s)]);
             const Duration t = spec.profile[static_cast<size_t>(r)];
@@ -89,12 +105,16 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
             }
             phase_barrier.arrive_and_wait();
           }
-          ++out.iterations;
+          if (!dropped) ++out.iterations;
         }
-        phase_barrier.arrive_and_drop();
+        if (!dropped) phase_barrier.arrive_and_drop();
       } else {
         // Free-running: natural stage order, contending on tokens.
         while (!stop.load(std::memory_order_relaxed)) {
+          if (Clock::now() >= t_kill) {
+            out.completed = false;
+            break;
+          }
           if (Clock::now() >= t_end) {
             stop.store(true, std::memory_order_relaxed);
             break;
@@ -125,6 +145,9 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
 
   ExecResult result;
   result.jobs = std::move(results);
+  for (const ExecJobResult& j : result.jobs) {
+    if (!j.completed) ++result.killed_jobs;
+  }
   return result;
 }
 

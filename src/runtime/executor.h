@@ -33,6 +33,12 @@ struct ExecJobSpec {
   ResourceVector profile{};
   // Rotation offset in the coordinated schedule.
   int offset = 0;
+  // Fault injection: kill this job's thread once it has run for this many
+  // wall seconds (<= 0 disables). In coordinated mode the dying member
+  // leaves through the barrier's arrive-and-drop path at the next phase
+  // boundary, so the survivors keep rotating instead of deadlocking — the
+  // runtime analogue of the simulator's degraded-group continuation.
+  double kill_after = 0;
 };
 
 struct ExecOptions {
@@ -54,10 +60,16 @@ struct ExecJobResult {
   // Iterations per *simulated* second (wall rate divided by time_scale),
   // directly comparable with 1 / iteration_time.
   double sim_throughput = 0;
+  // True if the job ran to the end of the measurement window; false if it
+  // was killed by fault injection (its wall_seconds/throughput then cover
+  // the window it survived).
+  bool completed = true;
 };
 
 struct ExecResult {
   std::vector<ExecJobResult> jobs;
+  // Number of members killed by fault injection.
+  int killed_jobs = 0;
 };
 
 // Runs the group for options.run_for wall seconds and reports per-job

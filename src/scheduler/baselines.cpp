@@ -39,14 +39,14 @@ std::vector<PlannedGroup> FifoScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
   auto ordered = sorted_by_priority(
       queue, [](const JobView& v) { return v.submit_time; });
-  return exclusive_plan(ordered, ctx.total_gpus);
+  return exclusive_plan(ordered, ctx.capacity());
 }
 
 std::vector<PlannedGroup> SrtfScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
   auto ordered = sorted_by_priority(
       queue, [](const JobView& v) { return v.remaining_time; });
-  return exclusive_plan(ordered, ctx.total_gpus);
+  return exclusive_plan(ordered, ctx.capacity());
 }
 
 std::vector<PlannedGroup> SrsfScheduler::schedule(
@@ -54,7 +54,7 @@ std::vector<PlannedGroup> SrsfScheduler::schedule(
   auto ordered = sorted_by_priority(queue, [](const JobView& v) {
     return v.remaining_time * static_cast<double>(v.num_gpus);
   });
-  return exclusive_plan(ordered, ctx.total_gpus);
+  return exclusive_plan(ordered, ctx.capacity());
 }
 
 std::vector<PlannedGroup> TiresiasScheduler::schedule(
@@ -70,7 +70,7 @@ std::vector<PlannedGroup> TiresiasScheduler::schedule(
     // Level dominates; submit time breaks ties inside a level (FIFO).
     return static_cast<double>(level) * 1e18 + v.submit_time;
   });
-  return exclusive_plan(ordered, ctx.total_gpus);
+  return exclusive_plan(ordered, ctx.capacity());
 }
 
 std::vector<PlannedGroup> ThemisScheduler::schedule(
@@ -84,7 +84,7 @@ std::vector<PlannedGroup> ThemisScheduler::schedule(
     const double deficit = (v.age + 1.0) / (per_gpu_service + 1.0);
     return -deficit;
   });
-  return exclusive_plan(ordered, ctx.total_gpus);
+  return exclusive_plan(ordered, ctx.capacity());
 }
 
 std::vector<PlannedGroup> AntManScheduler::schedule(
@@ -135,7 +135,7 @@ std::vector<PlannedGroup> AntManScheduler::schedule(
     if (std::find(admitted.begin(), admitted.end(), v.id) != admitted.end()) {
       continue;
     }
-    if (v.num_gpus <= ctx.total_gpus - used) {
+    if (v.num_gpus <= ctx.capacity() - used) {
       groups_[v.id] = {v.id};
       used += v.num_gpus;
       admitted.push_back(v.id);

@@ -84,7 +84,7 @@ std::vector<PlannedGroup> GittinsScheduler::schedule(
       return -index_of(v.attained_service);
     });
   }
-  return exclusive_plan(ordered, ctx.total_gpus);
+  return exclusive_plan(ordered, ctx.capacity());
 }
 
 }  // namespace muri

@@ -141,7 +141,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   // scheduling.
   int total_demand = 0;
   for (const JobView& v : ordered) total_demand += v.num_gpus;
-  if (total_demand <= ctx.total_gpus || options_.max_group_size == 1) {
+  if (total_demand <= ctx.capacity() || options_.max_group_size == 1) {
     std::vector<PlannedGroup> plan;
     plan.reserve(ordered.size());
     for (const JobView& v : ordered) {
@@ -153,11 +153,11 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
 
   // Candidate prefix: enough jobs to fill the cluster with max-size groups
   // (Algorithm 1 lines 3-7), bounded by the configured cap.
-  const int gpu_budget = options_.max_group_size * ctx.total_gpus;
+  const int gpu_budget = options_.max_group_size * ctx.capacity();
   const int cap =
       options_.candidate_cap > 0
           ? options_.candidate_cap
-          : std::min(options_.max_group_size * ctx.total_gpus, 192);
+          : std::min(options_.max_group_size * ctx.capacity(), 192);
   std::vector<JobView> candidates;
   std::vector<JobView> rest;
   int cum_gpus = 0;
@@ -251,7 +251,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   // the jobs beyond the candidate prefix follow as backfill.
   std::vector<PlannedGroup> admitted;
   std::vector<PlannedGroup> overflow;
-  int budget = ctx.total_gpus;
+  int budget = ctx.capacity();
   for (auto& p : planned) {
     if (p.group.num_gpus <= budget) {
       budget -= p.group.num_gpus;

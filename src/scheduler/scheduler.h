@@ -41,6 +41,15 @@ struct SchedulerContext {
   int total_gpus = 0;
   int gpus_per_machine = 0;
   bool durations_known = false;
+  // GPUs on machines currently in the allocatable pool (worker monitor:
+  // failed and blacklisted machines excluded). -1 means "no fault domain
+  // information" and falls back to total_gpus.
+  int available_gpus = -1;
+
+  // The GPU capacity a scheduler may plan against this round.
+  int capacity() const noexcept {
+    return available_gpus >= 0 ? available_gpus : total_gpus;
+  }
 };
 
 // How the members of a group share their GPU set.

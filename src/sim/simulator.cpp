@@ -44,11 +44,23 @@ struct JobState {
   Time next_fault = 0;    // scheduled failure while running (kInf = none)
   double group_gamma = 0; // best-case γ of the current group (diagnostic)
   GroupKey key;           // current group configuration
+  OwnerId owner = kNoOwner;       // GPU-set owner of the current group
+  double straggler_factor = 1.0;  // period inflation from machine stragglers
+  bool degraded = false;  // running in a group that lost a member mid-round
 
   Duration remaining_solo() const {
     return (static_cast<double>(job->iterations) - done_iterations) *
            job->profile.iteration_time();
   }
+};
+
+// Book-keeping for a placed group: which jobs share which machines. Needed
+// to map machine-level fault events back to the resident jobs.
+struct RunningGroup {
+  std::vector<JobId> members;
+  GroupMode mode = GroupMode::kExclusive;
+  int num_gpus = 0;
+  std::vector<MachineId> machines;
 };
 
 double safe_log2_ratio(int hi, int lo) {
@@ -66,17 +78,32 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
 
   Cluster cluster(options.cluster);
   ResourceProfiler profiler(options.profiler);
-  Rng fault_rng(options.fault_seed);
   const double fault_rate =
       options.mtbf_hours > 0 ? 1.0 / (options.mtbf_hours * 3600.0) : 0.0;
 
   const auto n = trace.jobs.size();
   std::vector<JobState> states(n);
+  // One fault substream per job: editing the trace (adding or dropping a
+  // job) leaves every other job's fault times untouched.
+  std::vector<Rng> job_fault_rng;
+  if (fault_rate > 0) job_fault_rng.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     assert(trace.jobs[i].id == static_cast<JobId>(i) &&
            "trace job ids must be dense");
     states[i].job = &trace.jobs[i];
+    if (fault_rate > 0) {
+      job_fault_rng.emplace_back(
+          substream_seed(options.fault_seed, static_cast<std::uint64_t>(i)));
+    }
   }
+
+  // Machine-level fault domains: event source, health tracker, and the
+  // currently active per-machine straggler slowdowns.
+  WorkerMonitor monitor(options.cluster.num_machines, options.monitor);
+  std::vector<ResourceVector> machine_slow(
+      static_cast<size_t>(options.cluster.num_machines),
+      ResourceVector{1.0, 1.0, 1.0, 1.0});
+  std::map<OwnerId, RunningGroup> running_groups;
 
   // Arrival order.
   std::vector<size_t> arrival_order(n);
@@ -91,6 +118,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   Time now = trace.jobs[arrival_order[0]].submit_time;
   Time last_round = now - options.schedule_interval;  // first round fires now
   bool dirty = false;
+
+  FaultInjector injector(options.cluster.num_machines, options.machine_faults,
+                         now);
 
   // Metrics accumulators.
   TimeWeightedAverage queue_avg;
@@ -208,9 +238,11 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       const Time start = std::max(now, s.ready_at);
       if (t > start && s.period > 0) {
         const Duration effective = t - start;
-        s.done_iterations += effective / s.period;
+        s.done_iterations += effective / (s.period * s.straggler_factor);
         s.attained_gpu_seconds +=
             effective * static_cast<double>(s.job->num_gpus);
+        if (s.straggler_factor > 1.0) result.straggler_seconds += effective;
+        if (s.degraded) result.degraded_group_seconds += effective;
       }
     }
     now = t;
@@ -221,13 +253,124 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     const double remaining =
         static_cast<double>(s.job->iterations) - s.done_iterations;
     if (remaining <= kIterEps) return now;
-    return std::max(now, s.ready_at) + remaining * s.period;
+    return std::max(now, s.ready_at) +
+           remaining * s.period * s.straggler_factor;
+  };
+
+  // Period inflation a job sees from the straggler windows active on its
+  // group's machines: per-resource factors weighted by the job's own stage
+  // mix (a slow disk only hurts storage-heavy jobs).
+  auto straggler_factor_for = [&](const Job& job,
+                                  const std::vector<MachineId>& machines) {
+    ResourceVector f{1.0, 1.0, 1.0, 1.0};
+    bool any = false;
+    for (MachineId m : machines) {
+      const ResourceVector& slow = machine_slow[static_cast<size_t>(m)];
+      for (size_t r = 0; r < static_cast<size_t>(kNumResources); ++r) {
+        f[r] = std::max(f[r], slow[r]);
+        any = any || slow[r] > 1.0;
+      }
+    }
+    if (!any) return 1.0;
+    double num = 0, den = 0;
+    for (size_t r = 0; r < static_cast<size_t>(kNumResources); ++r) {
+      num += job.profile.stage_time[r] * f[r];
+      den += job.profile.stage_time[r];
+    }
+    return den > 0 ? num / den : 1.0;
+  };
+
+  auto refresh_straggler_factors = [&]() {
+    for (const auto& [owner, group] : running_groups) {
+      for (JobId id : group.members) {
+        JobState& s = states[static_cast<size_t>(id)];
+        if (s.running && !s.finished) {
+          s.straggler_factor = straggler_factor_for(*s.job, group.machines);
+        }
+      }
+    }
+  };
+
+  // Re-plans a group that lost a member mid-round: the survivors continue
+  // immediately on the same GPU set as a *degraded* group with freshly
+  // computed best-order periods, instead of stalling until the next
+  // scheduling round (the barrier-deadlock scenario in a live executor).
+  auto replan_degraded = [&](RunningGroup& g) {
+    const auto p = g.members.size();
+    if (p == 0) return;
+    std::vector<IterationProfile> profiles;
+    std::vector<ResourceVector> stages;
+    profiles.reserve(p);
+    stages.reserve(p);
+    int max_gpus = 0, min_gpus = std::numeric_limits<int>::max();
+    for (JobId id : g.members) {
+      const JobState& s = states[static_cast<size_t>(id)];
+      profiles.push_back(s.job->profile);
+      stages.push_back(s.job->profile.stage_time);
+      max_gpus = std::max(max_gpus, s.job->num_gpus);
+      min_gpus = std::min(min_gpus, s.job->num_gpus);
+    }
+
+    std::vector<Duration> periods(p, 0.0);
+    if (p == 1) {
+      // A lone survivor runs exclusively.
+      g.mode = GroupMode::kExclusive;
+      periods[0] = profiles[0].iteration_time();
+    } else if (g.mode == GroupMode::kInterleaved) {
+      const InterleavePlan best = plan_interleave(stages);
+      const double gamma_true = group_efficiency(stages, best.period);
+      FluidOptions fluid;
+      fluid.inflation =
+          (1.0 + options.alpha * static_cast<double>(p - 1)) *
+          (1.0 + options.gamma_penalty *
+                     (1.0 - std::clamp(gamma_true, 0.0, 1.0)));
+      if (max_gpus != min_gpus) {
+        fluid.inflation *= 1.0 + options.cascade_penalty *
+                                     safe_log2_ratio(max_gpus, min_gpus);
+      }
+      fluid.contention_penalty = options.contention_penalty;
+      fluid.significant_duty = options.significant_duty;
+      const std::vector<double> rates = max_min_fair_rates(profiles, fluid);
+      for (size_t i = 0; i < p; ++i) {
+        periods[i] =
+            rates[i] > 0 ? profiles[i].iteration_time() / rates[i] : kInf;
+        states[static_cast<size_t>(g.members[i])].group_gamma = gamma_true;
+      }
+    } else {
+      FluidOptions fluid;
+      fluid.inflation = 1.0 + options.beta;
+      fluid.contention_penalty = options.contention_penalty;
+      fluid.significant_duty = options.significant_duty;
+      const std::vector<double> rates = max_min_fair_rates(profiles, fluid);
+      for (size_t i = 0; i < p; ++i) {
+        periods[i] =
+            rates[i] > 0 ? profiles[i].iteration_time() / rates[i] : kInf;
+      }
+    }
+
+    GroupKey key;
+    key.members = g.members;
+    std::sort(key.members.begin(), key.members.end());
+    key.mode = g.mode;
+    key.num_gpus = g.num_gpus;
+    for (size_t i = 0; i < p; ++i) {
+      JobState& s = states[static_cast<size_t>(g.members[i])];
+      s.period = periods[i];
+      s.key = key;
+      s.degraded = true;
+    }
   };
 
   auto apply_plan = [&](const std::vector<PlannedGroup>& plan) {
     cluster.reset();
+    running_groups.clear();
     std::set<JobId> placed;
-    std::vector<std::pair<GroupKey, const PlannedGroup*>> admitted;
+    struct Admitted {
+      GroupKey key;
+      const PlannedGroup* group;
+      OwnerId owner;
+    };
+    std::vector<Admitted> admitted;
     OwnerId next_owner = 1;
 
     for (const PlannedGroup& g : plan) {
@@ -250,7 +393,20 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       }
       if (!valid || g.num_gpus < max_gpus) continue;
       if (!cluster.can_allocate(g.num_gpus)) continue;
-      cluster.allocate(next_owner++, g.num_gpus);
+      const OwnerId owner = next_owner++;
+      const std::vector<GpuId> gpus = cluster.allocate(owner, g.num_gpus);
+
+      RunningGroup rg;
+      rg.members = g.members;
+      rg.mode = g.mode;
+      rg.num_gpus = g.num_gpus;
+      for (GpuId gpu : gpus) {
+        const MachineId m = cluster.machine_of(gpu);
+        if (rg.machines.empty() || rg.machines.back() != m) {
+          rg.machines.push_back(m);
+        }
+      }
+      running_groups.emplace(owner, std::move(rg));
 
       GroupKey key;
       key.members = g.members;
@@ -258,16 +414,13 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       key.mode = g.mode;
       key.num_gpus = g.num_gpus;
       for (JobId id : g.members) placed.insert(id);
-      admitted.emplace_back(std::move(key), &g);
-
-      // Track cascade input via min/max demand.
-      admitted.back().first.num_gpus = g.num_gpus;
+      admitted.push_back({std::move(key), &g, owner});
       (void)min_gpus;
     }
 
     // Compute execution periods and start/continue jobs.
     std::set<JobId> newly_running;
-    for (const auto& [key, group] : admitted) {
+    for (const auto& [key, group, owner] : admitted) {
       const auto p = group->members.size();
       std::vector<IterationProfile> true_profiles;
       std::vector<ResourceVector> true_stages;
@@ -364,6 +517,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         }
       }
 
+      const std::vector<MachineId>& machines = running_groups.at(owner).machines;
       for (size_t i = 0; i < p; ++i) {
         const JobId id = group->members[i];
         JobState& s = states[static_cast<size_t>(id)];
@@ -373,10 +527,15 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           if (s.running) ++result.restarts;
           s.key = key;
           s.ready_at = now + options.restart_penalty;
-          s.next_fault = fault_rate > 0
-                             ? now + fault_rng.exponential(fault_rate)
-                             : kInf;
+          s.next_fault =
+              fault_rate > 0
+                  ? now + job_fault_rng[static_cast<size_t>(id)].exponential(
+                              fault_rate)
+                  : kInf;
         }
+        s.owner = owner;
+        s.straggler_factor = straggler_factor_for(*s.job, machines);
+        s.degraded = false;
         s.running = true;
         newly_running.insert(id);
       }
@@ -388,6 +547,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         s.running = false;
         s.period = 0;
         s.key = GroupKey{};
+        s.owner = kNoOwner;
+        s.straggler_factor = 1.0;
+        s.degraded = false;
       }
     }
     recompute_utilization();
@@ -414,7 +576,10 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     }
     Time t_round = dirty ? std::max(now, last_round + options.schedule_interval)
                          : kInf;
-    Time t_next = std::min({t_arrival, t_finish, t_round});
+    const Time t_machine = injector.next_time();
+    const Time t_probation = monitor.next_probation_end();
+    Time t_next = std::min({t_arrival, t_finish, t_round, t_machine,
+                            t_probation});
 
     if (t_next == kInf) {
       // No arrivals, no running jobs, nothing dirty — but jobs remain:
@@ -443,19 +608,111 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       ++next_arrival;
     }
 
+    // Machine fault domain events: crashes evict and requeue every
+    // resident job; repairs return the machine to the pool unless the
+    // worker monitor holds it on probation; straggler windows inflate the
+    // periods of resident jobs.
+    if (injector.enabled()) {
+      for (const FaultEvent& e : injector.pop_until(now)) {
+        const auto mi = static_cast<size_t>(e.machine);
+        switch (e.kind) {
+          case FaultEvent::Kind::kMachineDown: {
+            monitor.on_failure(e.machine, now);
+            ++result.machine_failures;
+            machine_slow[mi] = ResourceVector{1.0, 1.0, 1.0, 1.0};
+            for (auto it = running_groups.begin();
+                 it != running_groups.end();) {
+              const bool resident =
+                  std::find(it->second.machines.begin(),
+                            it->second.machines.end(),
+                            e.machine) != it->second.machines.end();
+              if (!resident) {
+                ++it;
+                continue;
+              }
+              for (JobId id : it->second.members) {
+                JobState& s = states[static_cast<size_t>(id)];
+                if (s.running && !s.finished) {
+                  s.running = false;
+                  s.period = 0;
+                  s.key = GroupKey{};
+                  s.owner = kNoOwner;
+                  s.next_fault = kInf;
+                  s.straggler_factor = 1.0;
+                  s.degraded = false;
+                  ++result.evictions;
+                }
+              }
+              cluster.release(it->first);
+              it = running_groups.erase(it);
+            }
+            cluster.set_machine_available(e.machine, false);
+            dirty = true;
+            break;
+          }
+          case FaultEvent::Kind::kMachineUp: {
+            monitor.on_recovery(e.machine, now);
+            if (monitor.schedulable(e.machine)) {
+              cluster.set_machine_available(e.machine, true);
+              dirty = true;
+            }
+            break;
+          }
+          case FaultEvent::Kind::kStragglerStart: {
+            monitor.on_straggler(e.machine, true);
+            machine_slow[mi] = e.slowdown;
+            refresh_straggler_factors();
+            break;
+          }
+          case FaultEvent::Kind::kStragglerEnd: {
+            monitor.on_straggler(e.machine, false);
+            machine_slow[mi] = ResourceVector{1.0, 1.0, 1.0, 1.0};
+            refresh_straggler_factors();
+            break;
+          }
+        }
+      }
+      // Machines whose probation expired rejoin the pool.
+      for (MachineId m : monitor.end_probation(now)) {
+        cluster.set_machine_available(m, true);
+        dirty = true;
+      }
+    }
+
     // Faults: the executor reports the failure and the job goes back to
-    // the queue (progress checkpointed at iteration granularity).
+    // the queue (progress checkpointed at iteration granularity). The
+    // surviving members of the group continue immediately as a re-planned
+    // degraded group.
     if (fault_rate > 0) {
       for (JobState& s : states) {
         if (s.running && !s.finished && now >= s.next_fault &&
             s.done_iterations <
                 static_cast<double>(s.job->iterations) - kIterEps) {
+          const OwnerId owner = s.owner;
+          const JobId dead = s.job->id;
           s.running = false;
           s.period = 0;
           s.key = GroupKey{};
+          s.owner = kNoOwner;
           s.next_fault = kInf;
+          s.straggler_factor = 1.0;
+          s.degraded = false;
           ++result.faults;
           dirty = true;
+          if (owner != kNoOwner) {
+            auto it = running_groups.find(owner);
+            if (it != running_groups.end()) {
+              auto& members = it->second.members;
+              members.erase(std::remove(members.begin(), members.end(), dead),
+                            members.end());
+              if (members.empty()) {
+                cluster.release(owner);
+                running_groups.erase(it);
+              } else {
+                replan_degraded(it->second);
+              }
+            }
+          }
         }
       }
     }
@@ -468,6 +725,19 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         s.finished = true;
         s.running = false;
         s.period = 0;
+        // Leave the group registry so a later machine crash or partner
+        // fault no longer involves this job.
+        if (s.owner != kNoOwner) {
+          auto it = running_groups.find(s.owner);
+          if (it != running_groups.end()) {
+            auto& members = it->second.members;
+            members.erase(
+                std::remove(members.begin(), members.end(), s.job->id),
+                members.end());
+            if (members.empty()) running_groups.erase(it);
+          }
+          s.owner = kNoOwner;
+        }
         ++finished_count;
         result.jcts.push_back(now - s.job->submit_time);
         dirty = true;
@@ -496,6 +766,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       ctx.total_gpus = cluster.total_gpus();
       ctx.gpus_per_machine = options.cluster.gpus_per_machine;
       ctx.durations_known = options.durations_known;
+      // Failed and blacklisted machines are out of the allocatable pool.
+      ctx.available_gpus = cluster.available_gpus();
 
       const auto wall_start = std::chrono::steady_clock::now();
       const auto plan = scheduler.schedule(queue, ctx);
@@ -518,7 +790,11 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         }
       }
       dirty = any_waiting;
-      if (any_waiting && !any_running && next_arrival >= n) {
+      // A queue that cannot be placed is only a scheduler bug when the
+      // whole pool is up; with machines out, jobs legitimately wait for
+      // repair or probation to end.
+      if (any_waiting && !any_running && next_arrival >= n &&
+          cluster.available_machines() == cluster.num_machines()) {
         ++stall_rounds;
         if (stall_rounds >= 3) {
           MURI_LOG(kError) << scheduler.name()

@@ -30,6 +30,8 @@
 #include "cluster/cluster.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "fault/fault.h"
+#include "fault/monitor.h"
 #include "job/trace.h"
 #include "profiler/profiler.h"
 #include "scheduler/scheduler.h"
@@ -73,9 +75,21 @@ struct SimOptions {
   // pushed back to the queue). Mean time between failures per *running
   // job* in hours; 0 disables. Progress is checkpointed at iteration
   // granularity, so a fault costs the requeue wait plus the restart
-  // penalty, not lost work.
+  // penalty, not lost work. Each job draws its fault times from its own
+  // RNG substream of fault_seed, so editing the trace never reshuffles
+  // other jobs' fault times.
   double mtbf_hours = 0;
   std::uint64_t fault_seed = 1337;
+  // Machine-level fault domains: crash/recover (per-machine exponential
+  // MTBF/MTTR) and transient straggler windows (per-resource slowdown).
+  // A crashed machine evicts and requeues every resident job; surviving
+  // members of an interleaved group that lost a member to a *job* fault
+  // continue immediately as a re-planned degraded group. All processes
+  // default off (zero rates): behavior is then identical to a fault-free
+  // run.
+  FaultInjectorOptions machine_faults{};
+  // Worker-monitor policy: blacklist threshold and recovery probation.
+  WorkerMonitorOptions monitor{};
   ResourceProfiler::Options profiler{};
   // Whether JobView::remaining_time is populated (Muri-S/SRTF/SRSF runs).
   bool durations_known = false;
@@ -122,6 +136,11 @@ struct SimResult {
   // Number of times a running job was restarted because its group or
   // placement changed (preemption/regrouping churn).
   std::int64_t restarts = 0;
+  // Machine fault-domain accounting.
+  std::int64_t machine_failures = 0;   // machine-down events observed
+  std::int64_t evictions = 0;          // jobs requeued by machine crashes
+  double straggler_seconds = 0;        // job-seconds run at slowdown > 1
+  double degraded_group_seconds = 0;   // job-seconds run in a degraded group
 
   // Accounting.
   std::int64_t scheduler_invocations = 0;
