@@ -1,8 +1,27 @@
 // §5 scalability claim: "the centralized scheduler can generate a
 // grouping plan for 1,000 jobs in a few seconds". Google-benchmark over
-// the multi-round Blossom grouping and its building blocks.
+// the multi-round Blossom grouping and its building blocks, plus a
+// jobs × threads scheduling-round sweep that emits a machine-readable
+// BENCH_sched_round.json for the CI perf trajectory:
+//
+//   bench_scalability --json            # full sweep → BENCH_sched_round.json
+//   bench_scalability --small --json    # CI smoke variant
+//   bench_scalability --out=path.json   # override the output path
+//
+// Without --json/--small the binary is a plain google-benchmark suite.
+// The sweep also enforces the determinism gate: every multi-threaded plan
+// is compared against the single-threaded plan and a mismatch fails the
+// run (exit 1) — speed without bit-identical output is a bug here.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flags.h"
 #include "common/rng.h"
 #include "interleave/efficiency.h"
 #include "job/model.h"
@@ -102,7 +121,176 @@ void BM_GreedyMatching(benchmark::State& state) {
 BENCHMARK(BM_GreedyMatching)->Arg(128)->Arg(256)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Scheduling-round sweep (jobs × threads) → BENCH_sched_round.json.
+
+// Two queue shapes: "buckets4" cycles GPU demand 1/2/4/8 so the round
+// groups four independent buckets concurrently (the common production
+// shape and where bucket-level parallelism pays), "bucket1" puts every
+// job in the single 1-GPU bucket so the serial Blossom matching bounds
+// the achievable speedup (the honest worst case).
+std::vector<JobView> sweep_queue(int jobs, bool four_buckets,
+                                 std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<JobView> queue;
+  queue.reserve(static_cast<size_t>(jobs));
+  constexpr int kDemands[4] = {1, 2, 4, 8};
+  for (int i = 0; i < jobs; ++i) {
+    JobView v;
+    v.id = i;
+    v.num_gpus = four_buckets ? kDemands[i % 4] : 1;
+    v.remaining_time = rng.uniform(10, 3000);
+    v.attained_service = rng.uniform(0, 2000);
+    v.measured = model_profile(kAllModels[static_cast<size_t>(
+                                   rng.uniform_int(0, kNumModels - 1))],
+                               v.num_gpus);
+    queue.push_back(v);
+  }
+  return queue;
+}
+
+bool same_plan(const std::vector<PlannedGroup>& a,
+               const std::vector<PlannedGroup>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].members != b[i].members || a[i].num_gpus != b[i].num_gpus ||
+        a[i].mode != b[i].mode || a[i].slots != b[i].slots ||
+        a[i].offsets != b[i].offsets ||
+        a[i].planned_period != b[i].planned_period) {
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SweepPoint {
+  const char* config;
+  int jobs = 0;
+  int threads = 0;
+  double round_seconds = 0;
+  GroupingStats stats;
+  int groups = 0;
+  bool identical_to_serial = true;
+  double speedup_vs_serial = 1.0;
+};
+
+int run_sweep(bool small, const std::string& out_path) {
+  const std::vector<int> job_sizes =
+      small ? std::vector<int>{48, 96} : std::vector<int>{128, 256, 512};
+  const std::vector<int> thread_counts =
+      small ? std::vector<int>{1, 2, 4} : std::vector<int>{1, 2, 4, 8};
+  const int reps = small ? 3 : 5;
+
+  std::vector<SweepPoint> points;
+  bool determinism_ok = true;
+  for (const bool four_buckets : {true, false}) {
+    const char* config = four_buckets ? "buckets4" : "bucket1";
+    for (const int jobs : job_sizes) {
+      const auto queue = sweep_queue(jobs, four_buckets, 1234);
+      SchedulerContext ctx;
+      ctx.durations_known = true;
+      ctx.total_gpus = four_buckets ? jobs : jobs / 2;
+      ctx.gpus_per_machine = 8;
+
+      std::vector<PlannedGroup> serial_plan;
+      double serial_seconds = 0;
+      for (const int threads : thread_counts) {
+        MuriOptions opt;
+        opt.durations_known = true;
+        opt.candidate_cap = jobs;  // group the whole queue, no 192 clamp
+        opt.num_threads = threads;
+        MuriScheduler sched(opt);
+
+        SweepPoint p;
+        p.config = config;
+        p.jobs = jobs;
+        p.threads = threads;
+        p.round_seconds = 1e300;
+        std::vector<PlannedGroup> plan;
+        for (int rep = 0; rep < reps; ++rep) {
+          const auto t0 = std::chrono::steady_clock::now();
+          plan = sched.schedule(queue, ctx);
+          const double sec =
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count();
+          p.round_seconds = std::min(p.round_seconds, sec);
+        }
+        p.stats = sched.last_round_stats();
+        p.groups = static_cast<int>(plan.size());
+        if (threads == 1) {
+          serial_plan = plan;
+          serial_seconds = p.round_seconds;
+        } else {
+          p.identical_to_serial = same_plan(serial_plan, plan);
+          p.speedup_vs_serial = serial_seconds / p.round_seconds;
+          if (!p.identical_to_serial) {
+            determinism_ok = false;
+            std::fprintf(stderr,
+                         "DETERMINISM VIOLATION: %s jobs=%d threads=%d "
+                         "diverges from the serial plan\n",
+                         config, jobs, threads);
+          }
+        }
+        std::printf(
+            "%-8s jobs=%-4d threads=%d  round=%8.3f ms  graph=%7.3f ms  "
+            "match=%7.3f ms  cache=%lld/%lld  speedup=%.2fx%s\n",
+            config, jobs, threads, p.round_seconds * 1e3,
+            p.stats.graph_build_seconds * 1e3, p.stats.matching_seconds * 1e3,
+            static_cast<long long>(p.stats.cache_hits),
+            static_cast<long long>(p.stats.cache_misses),
+            p.speedup_vs_serial, p.identical_to_serial ? "" : "  MISMATCH");
+        std::fflush(stdout);
+        points.push_back(std::move(p));
+      }
+    }
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"sched_round\",\n");
+  std::fprintf(f, "  \"small\": %s,\n", small ? "true" : "false");
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"determinism_ok\": %s,\n",
+               determinism_ok ? "true" : "false");
+  std::fprintf(f, "  \"sweep\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"config\": \"%s\", \"jobs\": %d, \"threads\": %d, "
+        "\"round_seconds\": %.9f, \"graph_build_seconds\": %.9f, "
+        "\"matching_seconds\": %.9f, \"cache_hits\": %lld, "
+        "\"cache_misses\": %lld, \"matchings_run\": %lld, \"groups\": %d, "
+        "\"identical_to_serial\": %s, \"speedup_vs_serial\": %.4f}%s\n",
+        p.config, p.jobs, p.threads, p.round_seconds,
+        p.stats.graph_build_seconds, p.stats.matching_seconds,
+        static_cast<long long>(p.stats.cache_hits),
+        static_cast<long long>(p.stats.cache_misses),
+        static_cast<long long>(p.stats.matchings_run), p.groups,
+        p.identical_to_serial ? "true" : "false", p.speedup_vs_serial,
+        i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return determinism_ok ? 0 : 1;
+}
+
 }  // namespace
 }  // namespace muri
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  muri::Flags flags(argc, argv);
+  if (flags.has("json") || flags.has("small")) {
+    return muri::run_sweep(flags.has("small"),
+                           flags.get("out", "BENCH_sched_round.json"));
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

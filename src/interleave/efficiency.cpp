@@ -6,15 +6,15 @@
 
 namespace muri {
 
-std::vector<Resource> rotation_slots(
-    const std::vector<ResourceVector>& profiles) {
+void rotation_slots_into(const std::vector<ResourceVector>& profiles,
+                         std::vector<Resource>& slots) {
+  slots.clear();
   std::array<bool, kNumResources> active{};
   for (const ResourceVector& prof : profiles) {
     for (int j = 0; j < kNumResources; ++j) {
       if (prof[static_cast<size_t>(j)] > 0) active[static_cast<size_t>(j)] = true;
     }
   }
-  std::vector<Resource> slots;
   for (int j = 0; j < kNumResources; ++j) {
     if (active[static_cast<size_t>(j)]) {
       slots.push_back(static_cast<Resource>(j));
@@ -29,6 +29,12 @@ std::vector<Resource> rotation_slots(
     }
   }
   if (slots.empty()) slots.push_back(Resource::kStorage);
+}
+
+std::vector<Resource> rotation_slots(
+    const std::vector<ResourceVector>& profiles) {
+  std::vector<Resource> slots;
+  rotation_slots_into(profiles, slots);
   return slots;
 }
 
@@ -124,6 +130,47 @@ InterleavePlan plan_interleave(const std::vector<ResourceVector>& profiles,
 
   plan.efficiency = group_efficiency(profiles, plan.period);
   return plan;
+}
+
+double interleave_efficiency(const std::vector<ResourceVector>& profiles,
+                             PlanScratch& scratch, OrderingPolicy policy) {
+  // Mirrors plan_interleave exactly — same slot derivation, the same
+  // enumeration order over offset assignments, the same strict-improvement
+  // comparison — so the returned γ is bit-identical to the allocating
+  // path; only the InterleavePlan bookkeeping (best offsets) is dropped.
+  const int p = static_cast<int>(profiles.size());
+  if (p == 0) return 0;
+
+  rotation_slots_into(profiles, scratch.slots);
+  const int s = static_cast<int>(scratch.slots.size());
+
+  if (p == 1) {
+    return group_efficiency(profiles, total(profiles[0]));
+  }
+  assert(p <= s);
+
+  scratch.rest.clear();
+  for (int o = 1; o < s; ++o) scratch.rest.push_back(o);
+  scratch.offsets.assign(static_cast<size_t>(p), 0);
+
+  Duration chosen = 0;
+  bool first = true;
+  do {
+    for (int i = 1; i < p; ++i) {
+      scratch.offsets[static_cast<size_t>(i)] =
+          scratch.rest[static_cast<size_t>(i - 1)];
+    }
+    const Duration period =
+        group_period(profiles, scratch.slots, scratch.offsets);
+    const bool better = policy == OrderingPolicy::kBest ? period < chosen
+                                                        : period > chosen;
+    if (first || better) {
+      chosen = period;
+      first = false;
+    }
+  } while (std::next_permutation(scratch.rest.begin(), scratch.rest.end()));
+
+  return group_efficiency(profiles, chosen);
 }
 
 double pairwise_efficiency(const ResourceVector& a, const ResourceVector& b,

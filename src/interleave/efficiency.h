@@ -53,6 +53,28 @@ enum class OrderingPolicy {
 std::vector<Resource> rotation_slots(
     const std::vector<ResourceVector>& profiles);
 
+// Allocation-free variant: clears and refills `slots` in place.
+void rotation_slots_into(const std::vector<ResourceVector>& profiles,
+                         std::vector<Resource>& slots);
+
+// Reusable buffers for the allocation-free planning path. One instance per
+// thread (or per call site); vectors grow to a high-water mark and are
+// reused across evaluations — the scheduling round's edge loop evaluates
+// O(n²) candidate groups per round and must not allocate per edge.
+struct PlanScratch {
+  std::vector<Resource> slots;
+  std::vector<int> rest;
+  std::vector<int> offsets;
+};
+
+// Best- (or worst-) ordering efficiency γ of interleaving `profiles`,
+// bit-identical to plan_interleave(profiles, policy).efficiency but
+// without building an InterleavePlan or allocating (scratch reused). This
+// is the matching-graph edge-weight evaluator for merged super-nodes.
+double interleave_efficiency(const std::vector<ResourceVector>& profiles,
+                             PlanScratch& scratch,
+                             OrderingPolicy policy = OrderingPolicy::kBest);
+
 // Period of one interleaved round (Eq. 3) for explicit slots + offsets.
 // Preconditions: slots distinct; offsets distinct, in [0, slots.size());
 // offsets.size() == profiles.size() <= slots.size().

@@ -1,11 +1,17 @@
 #include "scheduler/muri.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <numeric>
+#include <thread>
+#include <unordered_map>
+#include <utility>
 
+#include "common/threadpool.h"
 #include "matching/blossom.h"
 
 namespace muri {
@@ -16,66 +22,161 @@ struct GroupNode {
   std::vector<int> members;  // indices into the bucket's profile array
 };
 
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// γ-memoization across the log₂k rounds, keyed by the sorted member-index
+// set of the union an edge would create. Within one round every union set
+// is distinct (nodes partition the members), so a key can only repeat
+// across rounds — exactly the case of two super-nodes that both survived
+// a matching unmatched and whose pair edge would otherwise be recomputed
+// from scratch. Because a node's member list never changes once formed,
+// a cached γ is bit-identical to what re-evaluation would produce.
+struct MemberSetHash {
+  size_t operator()(const std::vector<int>& v) const noexcept {
+    size_t h = 0x9e3779b97f4a7c15ull ^ v.size();
+    for (int x : v) {
+      h ^= static_cast<size_t>(x) + 0x9e3779b97f4a7c15ull + (h << 6) +
+           (h >> 2);
+    }
+    return h;
+  }
+};
+using GammaCache = std::unordered_map<std::vector<int>, double, MemberSetHash>;
+
+void union_key(const GroupNode& a, const GroupNode& b, std::vector<int>& key) {
+  key.clear();
+  key.reserve(a.members.size() + b.members.size());
+  key.insert(key.end(), a.members.begin(), a.members.end());
+  key.insert(key.end(), b.members.begin(), b.members.end());
+  std::sort(key.begin(), key.end());
+}
+
 }  // namespace
 
 std::vector<std::vector<int>> multi_round_grouping(
     const std::vector<ResourceVector>& profiles, int max_group_size,
-    std::int64_t* matchings_run) {
+    ThreadPool* pool, GroupingStats* stats) {
   assert(max_group_size >= 1);
   std::vector<GroupNode> nodes;
   nodes.reserve(profiles.size());
   for (int i = 0; i < static_cast<int>(profiles.size()); ++i) {
     nodes.push_back({{i}});
   }
-  // Interleaving efficiency of the union of two nodes' members — the edge
-  // weight of Algorithm 1. For two singletons this is the pairwise γ; for
-  // merged nodes it is the true γ of the group the merge would create
-  // (a super-node "is" its member set, so interleaving two super-nodes
-  // means interleaving all their members).
-  auto union_efficiency = [&](const GroupNode& a, const GroupNode& b) {
-    if (a.members.size() == 1 && b.members.size() == 1) {
-      return pairwise_efficiency(
-          profiles[static_cast<size_t>(a.members[0])],
-          profiles[static_cast<size_t>(b.members[0])]);
-    }
-    std::vector<ResourceVector> group;
-    group.reserve(a.members.size() + b.members.size());
-    for (int idx : a.members) group.push_back(profiles[static_cast<size_t>(idx)]);
-    for (int idx : b.members) group.push_back(profiles[static_cast<size_t>(idx)]);
-    return plan_interleave(group).efficiency;
-  };
   if (max_group_size == 1 || nodes.size() < 2) {
     std::vector<std::vector<int>> singletons;
     for (auto& node : nodes) singletons.push_back(std::move(node.members));
     return singletons;
   }
 
+  GammaCache gamma_cache;
   const int rounds = static_cast<int>(
       std::ceil(std::log2(static_cast<double>(max_group_size))));
   for (int round = 0; round < rounds; ++round) {
     const int n = static_cast<int>(nodes.size());
     if (n < 2) break;
 
+    // Interleaving efficiency of the union of two nodes' members — the
+    // edge weight of Algorithm 1. For two singletons this is the pairwise
+    // γ closed form; for merged nodes it is the true γ of the group the
+    // merge would create (a super-node "is" its member set, so
+    // interleaving two super-nodes means interleaving all their members).
+    //
+    // Each row u owns graph cells (u, v) for v > u and set_weight writes
+    // only those two mirrored slots, so rows are data-race free and the
+    // assembled graph is bit-identical for any thread count. The γ-cache
+    // is read-only during this phase; misses are folded in serially below.
+    const auto t_graph = Clock::now();
     DenseGraph graph(n);
-    bool any_edge = false;
-    for (int u = 0; u < n; ++u) {
+    std::atomic<bool> any_edge{false};
+    const auto eval_row = [&](std::int64_t row) {
+      const int u = static_cast<int>(row);
+      thread_local PlanScratch scratch;
+      thread_local std::vector<ResourceVector> group;
+      thread_local std::vector<int> key;
+      const GroupNode& a = nodes[static_cast<size_t>(u)];
+      bool row_edge = false;
       for (int v = u + 1; v < n; ++v) {
+        const GroupNode& b = nodes[static_cast<size_t>(v)];
         const int combined =
-            static_cast<int>(nodes[static_cast<size_t>(u)].members.size() +
-                             nodes[static_cast<size_t>(v)].members.size());
+            static_cast<int>(a.members.size() + b.members.size());
         if (combined > max_group_size) continue;
-        const double gamma = union_efficiency(nodes[static_cast<size_t>(u)],
-                                              nodes[static_cast<size_t>(v)]);
+        double gamma = 0;
+        bool cached = false;
+        if (round > 0) {  // round 0 starts with a provably empty cache
+          union_key(a, b, key);
+          const auto it = gamma_cache.find(key);
+          if (it != gamma_cache.end()) {
+            gamma = it->second;
+            cached = true;
+          }
+        }
+        if (!cached) {
+          if (combined == 2) {
+            gamma = pairwise_efficiency(
+                profiles[static_cast<size_t>(a.members[0])],
+                profiles[static_cast<size_t>(b.members[0])]);
+          } else {
+            group.clear();
+            for (int idx : a.members) {
+              group.push_back(profiles[static_cast<size_t>(idx)]);
+            }
+            for (int idx : b.members) {
+              group.push_back(profiles[static_cast<size_t>(idx)]);
+            }
+            gamma = interleave_efficiency(group, scratch);
+          }
+        }
         if (gamma > 0) {
           graph.set_weight(u, v, gamma);
-          any_edge = true;
+          row_edge = true;
+        }
+      }
+      if (row_edge) any_edge.store(true, std::memory_order_relaxed);
+    };
+    if (pool != nullptr) {
+      pool->parallel_for(0, n, eval_row);
+    } else {
+      for (int u = 0; u < n; ++u) eval_row(u);
+    }
+
+    // Fold this round's γ values into the cache. γ ≥ 0 always and edges
+    // with γ == 0 are simply absent from the graph, so the cell value *is*
+    // the computed γ. try_emplace finding the key present means an earlier
+    // round cached it — a hit the parallel phase already exploited (a pair
+    // of nodes that both survived a matching unmatched and would otherwise
+    // be recomputed from scratch). A miss therefore counts exactly one γ
+    // evaluation, a hit exactly one avoided.
+    {
+      std::vector<int> key;
+      for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+          const GroupNode& a = nodes[static_cast<size_t>(u)];
+          const GroupNode& b = nodes[static_cast<size_t>(v)];
+          const int combined =
+              static_cast<int>(a.members.size() + b.members.size());
+          if (combined > max_group_size) continue;
+          union_key(a, b, key);
+          const bool inserted =
+              gamma_cache.try_emplace(key, graph.weight(u, v)).second;
+          if (stats != nullptr) {
+            ++(inserted ? stats->cache_misses : stats->cache_hits);
+          }
         }
       }
     }
-    if (!any_edge) break;
+    if (stats != nullptr) stats->graph_build_seconds += seconds_since(t_graph);
+    if (!any_edge.load(std::memory_order_relaxed)) break;
 
+    const auto t_match = Clock::now();
     const Matching matching = max_weight_matching(graph);
-    if (matchings_run != nullptr) ++*matchings_run;
+    if (stats != nullptr) {
+      stats->matching_seconds += seconds_since(t_match);
+      ++stats->matchings_run;
+    }
     if (matching.pairs == 0) break;
 
     std::vector<GroupNode> next;
@@ -107,15 +208,44 @@ std::vector<std::vector<int>> multi_round_grouping(
   return groups;
 }
 
+std::vector<std::vector<int>> multi_round_grouping(
+    const std::vector<ResourceVector>& profiles, int max_group_size,
+    std::int64_t* matchings_run) {
+  GroupingStats stats;
+  auto groups = multi_round_grouping(profiles, max_group_size, nullptr, &stats);
+  if (matchings_run != nullptr) *matchings_run += stats.matchings_run;
+  return groups;
+}
+
 MuriScheduler::MuriScheduler(MuriOptions options) : options_(options) {
   assert(options_.max_group_size >= 1 &&
          options_.max_group_size <= kNumResources);
+  assert(options_.num_threads >= 0);
+}
+
+MuriScheduler::~MuriScheduler() = default;
+
+ThreadPool* MuriScheduler::pool() {
+  int requested = options_.num_threads;
+  if (requested <= 0) {
+    requested = static_cast<int>(std::thread::hardware_concurrency());
+    if (requested <= 0) requested = 1;
+  }
+  // The calling thread participates in every parallel_for, so a request
+  // for t-way concurrency needs t-1 workers.
+  const int workers = requested - 1;
+  if (workers <= 0) return nullptr;
+  if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(workers);
+  return pool_.get();
 }
 
 std::string MuriScheduler::name() const {
   std::string n = options_.durations_known ? "Muri-S" : "Muri-L";
   if (options_.max_group_size != 4) {
-    n += "-" + std::to_string(options_.max_group_size);
+    // Two appends, not `"-" + std::to_string(...)`: the temporary-chain
+    // form trips GCC 12's -Wrestrict false positive (PR 105651) at -O2.
+    n += "-";
+    n += std::to_string(options_.max_group_size);
   }
   if (options_.ordering == OrderingPolicy::kWorst) n += "-worstorder";
   if (!options_.use_blossom) n += "-noblossom";
@@ -133,6 +263,7 @@ double MuriScheduler::priority_of(const JobView& v) const {
 
 std::vector<PlannedGroup> MuriScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
+  last_round_stats_ = {};
   auto ordered =
       sorted_by_priority(queue, [&](const JobView& v) { return priority_of(v); });
 
@@ -145,7 +276,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
     std::vector<PlannedGroup> plan;
     plan.reserve(ordered.size());
     for (const JobView& v : ordered) {
-      plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}});
+      plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}, 0});
     }
     sort_groups_for_placement(plan);
     return plan;
@@ -181,29 +312,44 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
     buckets[key].push_back(i);
   }
 
-  struct Planned {
-    PlannedGroup group;
-    double priority;
-  };
-  std::vector<Planned> planned;
-
+  // Materialize the buckets in ascending-demand order (the map's order —
+  // the serial iteration order) so results are assembled identically no
+  // matter how the grouping work below is scheduled across threads.
+  std::vector<std::vector<int>> bucket_indices;
+  bucket_indices.reserve(buckets.size());
   for (auto& [key, indices] : buckets) {
-    std::vector<ResourceVector> profiles;
-    profiles.reserve(indices.size());
-    for (int idx : indices) {
-      profiles.push_back(
+    (void)key;
+    bucket_indices.push_back(std::move(indices));
+  }
+  const size_t nb = bucket_indices.size();
+  std::vector<std::vector<ResourceVector>> bucket_profiles(nb);
+  for (size_t bi = 0; bi < nb; ++bi) {
+    bucket_profiles[bi].reserve(bucket_indices[bi].size());
+    for (int idx : bucket_indices[bi]) {
+      bucket_profiles[bi].push_back(
           candidates[static_cast<size_t>(idx)].measured.stage_time);
     }
+  }
 
-    std::vector<std::vector<int>> groups;
+  // Independent GPU buckets are grouped concurrently; each bucket's result
+  // and counters land in a slot owned by its index. A bucket task running
+  // on a pool worker executes its own edge loops inline (nested
+  // parallel_for), while a single dominant bucket grouped from this thread
+  // still fans its edge loop out across the pool.
+  std::vector<std::vector<std::vector<int>>> bucket_groups(nb);
+  std::vector<GroupingStats> bucket_stats(nb);
+  ThreadPool* round_pool = pool();
+  const auto group_bucket = [&](std::int64_t bi) {
+    const auto& profs = bucket_profiles[static_cast<size_t>(bi)];
+    auto& groups = bucket_groups[static_cast<size_t>(bi)];
     if (options_.use_blossom) {
-      groups = multi_round_grouping(profiles, options_.max_group_size,
-                                    &matchings_run_);
+      groups = multi_round_grouping(profs, options_.max_group_size, round_pool,
+                                    &bucket_stats[static_cast<size_t>(bi)]);
     } else {
       // Ablation (§6.4): pack jobs with the same GPU requirement
       // consecutively in descending priority order.
       std::vector<int> chunk;
-      for (int i = 0; i < static_cast<int>(profiles.size()); ++i) {
+      for (int i = 0; i < static_cast<int>(profs.size()); ++i) {
         chunk.push_back(i);
         if (static_cast<int>(chunk.size()) == options_.max_group_size) {
           groups.push_back(chunk);
@@ -212,8 +358,26 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
       }
       if (!chunk.empty()) groups.push_back(chunk);
     }
+  };
+  if (round_pool != nullptr && nb > 1) {
+    round_pool->parallel_for(0, static_cast<std::int64_t>(nb), group_bucket);
+  } else {
+    for (size_t bi = 0; bi < nb; ++bi) {
+      group_bucket(static_cast<std::int64_t>(bi));
+    }
+  }
+  for (const GroupingStats& s : bucket_stats) last_round_stats_.accumulate(s);
+  cumulative_stats_.accumulate(last_round_stats_);
 
-    for (const auto& group : groups) {
+  struct Planned {
+    PlannedGroup group;
+    double priority;
+  };
+  std::vector<Planned> planned;
+
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const std::vector<int>& indices = bucket_indices[bi];
+    for (const auto& group : bucket_groups[bi]) {
       PlannedGroup g;
       double best_priority = std::numeric_limits<double>::infinity();
       int max_gpus = 0;
@@ -266,7 +430,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   plan.reserve(plan.size() + overflow.size() + rest.size());
   for (auto& g : overflow) plan.push_back(std::move(g));
   for (const JobView& v : rest) {
-    plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}});
+    plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}, 0});
   }
   return plan;
 }

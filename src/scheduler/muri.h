@@ -16,12 +16,16 @@
 //     descending GPU demand for placement (§5).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "interleave/efficiency.h"
 #include "scheduler/scheduler.h"
 
 namespace muri {
+
+class ThreadPool;
 
 struct MuriOptions {
   // Maximum jobs per interleaving group (Fig. 12 varies this 2..4).
@@ -42,11 +46,46 @@ struct MuriOptions {
   // utilize the cluster"), clamped to 192 so a deep backlog cannot make a
   // scheduling round quadratically slower.
   int candidate_cap = 0;
+  // Threads a scheduling round may use: the matching-graph edge weights
+  // are evaluated in parallel and independent GPU buckets are grouped
+  // concurrently. 0 = hardware concurrency, 1 = the plain serial path.
+  // The plan is bit-identical for every value — parallelism splits work
+  // across write-once slots, it never reorders a floating-point reduction
+  // — so this is purely a latency knob.
+  int num_threads = 0;
+};
+
+// Counters for one scheduling round (or one multi_round_grouping call):
+// where the time went and how often the γ-memoization short-circuited a
+// super-node re-evaluation.
+struct GroupingStats {
+  // Wall seconds spent building matching-graph edge weights. Summed across
+  // buckets, so with concurrent buckets this can exceed the round's wall
+  // time — it measures work, not latency.
+  double graph_build_seconds = 0;
+  // Wall seconds inside Blossom matching (summed across buckets).
+  double matching_seconds = 0;
+  // γ-cache outcomes: a miss is one γ evaluation performed, a hit one
+  // avoided — a node pair whose members both survived a previous round's
+  // matching unmatched and whose edge weight was therefore already known.
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  // Blossom invocations.
+  std::int64_t matchings_run = 0;
+
+  void accumulate(const GroupingStats& other) {
+    graph_build_seconds += other.graph_build_seconds;
+    matching_seconds += other.matching_seconds;
+    cache_hits += other.cache_hits;
+    cache_misses += other.cache_misses;
+    matchings_run += other.matchings_run;
+  }
 };
 
 class MuriScheduler final : public Scheduler {
  public:
   explicit MuriScheduler(MuriOptions options = {});
+  ~MuriScheduler() override;
 
   std::string name() const override;
   bool needs_durations() const override { return options_.durations_known; }
@@ -57,13 +96,30 @@ class MuriScheduler final : public Scheduler {
   const MuriOptions& options() const noexcept { return options_; }
 
   // Cumulative number of Blossom invocations (scalability accounting).
-  std::int64_t matchings_run() const noexcept { return matchings_run_; }
+  std::int64_t matchings_run() const noexcept {
+    return cumulative_stats_.matchings_run;
+  }
+
+  // Timing / cache counters of the most recent schedule() call and the
+  // running totals since construction (for the scalability benches).
+  const GroupingStats& last_round_stats() const noexcept {
+    return last_round_stats_;
+  }
+  const GroupingStats& cumulative_stats() const noexcept {
+    return cumulative_stats_;
+  }
 
  private:
   double priority_of(const JobView& v) const;
+  // The pool backing this scheduler's rounds per options_.num_threads, or
+  // nullptr for the serial path. Created lazily on the first contended
+  // round so uncontended workloads never spawn threads.
+  ThreadPool* pool();
 
   MuriOptions options_;
-  std::int64_t matchings_run_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
+  GroupingStats last_round_stats_;
+  GroupingStats cumulative_stats_;
 };
 
 // The multi-round grouping core (Algorithm 1), exposed for unit tests and
@@ -75,5 +131,16 @@ class MuriScheduler final : public Scheduler {
 std::vector<std::vector<int>> multi_round_grouping(
     const std::vector<ResourceVector>& profiles, int max_group_size,
     std::int64_t* matchings_run = nullptr);
+
+// Full-control variant: `pool` (may be null → serial) parallelizes the
+// per-round edge-weight construction; `stats` (may be null) receives
+// timing and γ-cache counters. The returned grouping is bit-identical for
+// every pool size: each (u, v) edge weight is computed exactly once and
+// written to its own slot, the Blossom matching itself runs serially on
+// the assembled graph, and the γ-cache is only ever read during the
+// parallel phase (misses are folded in serially between rounds).
+std::vector<std::vector<int>> multi_round_grouping(
+    const std::vector<ResourceVector>& profiles, int max_group_size,
+    ThreadPool* pool, GroupingStats* stats);
 
 }  // namespace muri

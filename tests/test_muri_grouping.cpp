@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/rng.h"
+#include "common/threadpool.h"
 #include "interleave/efficiency.h"
 #include "job/model.h"
 #include "matching/brute_force.h"
@@ -104,6 +105,56 @@ TEST(MultiRoundGrouping, UnionWeightBeatsNothingForComplementarySet) {
   EXPECT_EQ(groups[0].size(), 4u);
 }
 
+TEST(MultiRoundGrouping, ThreadedGroupingIsBitIdenticalToSerial) {
+  // The tentpole's acceptance gate: the parallel edge build and γ-cache
+  // must not change the result by a single bit, for any pool size.
+  for (std::uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    for (int n : {7, 24, 48}) {
+      const auto profiles = zoo_profiles(n, seed);
+      for (int max_size : {2, 3, 4}) {
+        const auto serial = multi_round_grouping(profiles, max_size);
+        GroupingStats serial_stats;
+        const auto serial2 =
+            multi_round_grouping(profiles, max_size, nullptr, &serial_stats);
+        EXPECT_EQ(serial, serial2);
+        for (int workers : {1, 3, 7}) {  // 2-, 4-, 8-way concurrency
+          ThreadPool pool(workers);
+          GroupingStats stats;
+          const auto threaded =
+              multi_round_grouping(profiles, max_size, &pool, &stats);
+          EXPECT_EQ(serial, threaded)
+              << "n=" << n << " k=" << max_size << " seed=" << seed
+              << " workers=" << workers;
+          // Cache traffic is part of the deterministic contract too.
+          EXPECT_EQ(stats.cache_hits, serial_stats.cache_hits);
+          EXPECT_EQ(stats.cache_misses, serial_stats.cache_misses);
+          EXPECT_EQ(stats.matchings_run, serial_stats.matchings_run);
+        }
+      }
+    }
+  }
+}
+
+TEST(MultiRoundGrouping, GammaCacheHitsOnRematchedSurvivors) {
+  // One two-resource job and three zero ("pure compute-free") profiles:
+  // the job pairs with one zero in round 1, and the two leftover zeros —
+  // whose γ of 0 was folded into the cache in round 1 — meet again in
+  // round 2 as an unchanged pair. That re-encounter must be a cache hit.
+  std::vector<ResourceVector> profiles = {
+      {0.5, 0.5, 0.0, 0.0},
+      {0.0, 0.0, 0.0, 0.0},
+      {0.0, 0.0, 0.0, 0.0},
+      {0.0, 0.0, 0.0, 0.0},
+  };
+  GroupingStats stats;
+  const auto groups = multi_round_grouping(profiles, 4, nullptr, &stats);
+  EXPECT_GE(stats.cache_hits, 1);
+  EXPECT_GT(stats.cache_misses, 0);
+  std::set<int> seen;
+  for (const auto& g : groups) seen.insert(g.begin(), g.end());
+  EXPECT_EQ(seen.size(), profiles.size());
+}
+
 TEST(MuriPlan, InterleavedGroupsCarryFullSchedules) {
   MuriOptions opt;
   opt.durations_known = true;
@@ -189,6 +240,95 @@ TEST(MuriPlan, AdmittedGpuBudgetRespectsCluster) {
   }
   EXPECT_LE(budget_used, ctx.total_gpus);
   EXPECT_GE(budget_used, ctx.total_gpus / 2);  // not trivially empty
+}
+
+bool same_plan(const std::vector<PlannedGroup>& a,
+               const std::vector<PlannedGroup>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].members != b[i].members) return false;
+    if (a[i].num_gpus != b[i].num_gpus) return false;
+    if (a[i].mode != b[i].mode) return false;
+    if (a[i].slots != b[i].slots) return false;
+    if (a[i].offsets != b[i].offsets) return false;
+    if (a[i].planned_period != b[i].planned_period) return false;  // bitwise
+  }
+  return true;
+}
+
+std::vector<JobView> randomized_queue(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<JobView> queue;
+  for (int i = 0; i < n; ++i) {
+    JobView v;
+    v.id = i;
+    v.num_gpus = 1 << rng.uniform_int(0, 3);  // 1/2/4/8 → four buckets
+    v.submit_time = rng.uniform(0, 500);
+    v.attained_service = rng.uniform(0, 2000);
+    v.remaining_time = rng.uniform(10, 3000);
+    v.measured = model_profile(kAllModels[static_cast<size_t>(
+                                   rng.uniform_int(0, kNumModels - 1))],
+                               v.num_gpus);
+    queue.push_back(v);
+  }
+  return queue;
+}
+
+TEST(MuriPlan, ThreadedSchedulesAreBitIdenticalToSerial) {
+  // Full scheduler path on randomized traces: concurrent bucket grouping +
+  // parallel graph build must reproduce the serial plan exactly, for both
+  // Muri-S and Muri-L and across thread counts.
+  for (std::uint64_t seed : {3u, 21u, 42u}) {
+    for (bool known : {false, true}) {
+      MuriOptions serial_opt;
+      serial_opt.durations_known = known;
+      serial_opt.num_threads = 1;
+      MuriScheduler serial(serial_opt);
+
+      const auto queue = randomized_queue(60, seed);
+      SchedulerContext ctx;
+      ctx.total_gpus = 16;
+      ctx.gpus_per_machine = 8;
+      ctx.durations_known = known;
+      const auto want = serial.schedule(queue, ctx);
+
+      for (int threads : {2, 4, 8}) {
+        MuriOptions opt = serial_opt;
+        opt.num_threads = threads;
+        MuriScheduler muri(opt);
+        const auto got = muri.schedule(queue, ctx);
+        EXPECT_TRUE(same_plan(want, got))
+            << "seed=" << seed << " known=" << known
+            << " threads=" << threads;
+        // Deterministic work accounting: the same matchings and the same
+        // cache traffic as the serial round, just spread across threads.
+        EXPECT_EQ(muri.last_round_stats().matchings_run,
+                  serial.last_round_stats().matchings_run);
+        EXPECT_EQ(muri.last_round_stats().cache_hits,
+                  serial.last_round_stats().cache_hits);
+        EXPECT_EQ(muri.last_round_stats().cache_misses,
+                  serial.last_round_stats().cache_misses);
+      }
+    }
+  }
+}
+
+TEST(MuriPlan, RoundStatsAccumulateAcrossCalls) {
+  MuriOptions opt;
+  opt.num_threads = 2;
+  MuriScheduler muri(opt);
+  SchedulerContext ctx;
+  ctx.total_gpus = 8;
+  const auto queue = randomized_queue(40, 9);
+  muri.schedule(queue, ctx);
+  const auto first = muri.cumulative_stats();
+  EXPECT_GT(first.matchings_run, 0);
+  EXPECT_GT(first.cache_misses, 0);
+  muri.schedule(queue, ctx);
+  EXPECT_EQ(muri.cumulative_stats().matchings_run, 2 * first.matchings_run);
+  EXPECT_EQ(muri.matchings_run(), muri.cumulative_stats().matchings_run);
+  EXPECT_GE(muri.last_round_stats().graph_build_seconds, 0.0);
+  EXPECT_GE(muri.last_round_stats().matching_seconds, 0.0);
 }
 
 }  // namespace
