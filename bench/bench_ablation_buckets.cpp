@@ -10,7 +10,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   std::printf("Ablation — GPU bucketing on vs off "
               "(normalized to Muri-L; >1 = worse)\n\n");
   std::printf("%-10s | %10s %10s\n", "trace", "JCT", "makespan");

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "interleave/efficiency.h"
 #include "job/model.h"
@@ -30,7 +31,8 @@ double grouping_weight(const std::vector<ResourceVector>& profiles,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   std::printf("Ablation — multi-round grouping vs brute-force optimum\n");
   std::printf("(group value = gamma of the group; optimum enumerates every "
               "partition into groups of <= 4)\n\n");

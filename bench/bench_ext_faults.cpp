@@ -45,7 +45,8 @@ void print_norm_row(const char* label, const std::vector<SimResult>& row,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   Trace trace = testbed_trace();
   trace.jobs.resize(200);  // keep the sweep quick
 

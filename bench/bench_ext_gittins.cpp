@@ -10,7 +10,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   const Trace trace = testbed_trace();
   std::printf("Extension — 2D-Gittins vs 2D-LAS Tiresias vs Muri-L "
               "(testbed trace)\n\n");

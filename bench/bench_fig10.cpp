@@ -10,7 +10,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   std::printf("Figure 10 — simulation, durations unknown "
               "(vs Muri-L)\n\n");
   std::printf("%-10s | %-22s | %-22s | %-22s\n", "trace",

@@ -10,7 +10,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   std::printf("Figure 11 — design ablations (values normalized to Muri-L; "
               ">1 = worse than Muri-L)\n\n");
   std::printf("%-8s | %-19s | %-19s\n", "trace", "worst ordering",

@@ -10,7 +10,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   std::printf("Figure 12 — max jobs per group (normalized to AntMan; "
               "<1 = better than AntMan)\n\n");
   std::printf("%-8s | %-26s | %-26s\n", "trace", "avg JCT vs AntMan",

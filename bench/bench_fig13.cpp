@@ -10,7 +10,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   // One representative model per bottleneck class, added one at a time:
   // storage -> +cpu -> +gpu -> +network.
   const std::vector<std::vector<ModelKind>> mixes = {

@@ -9,7 +9,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   // Noise only matters where grouping happens, i.e. under contention, so
   // we sweep on the (contended) testbed trace; the paper's lightly loaded
   // trace explains its flat makespan, which the long-job critical path

@@ -53,7 +53,8 @@ void block(const char* title, const Trace& trace,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   const Trace trace = testbed_trace();
   std::printf("Figure 8 — detailed testbed metrics over time "
               "(12 samples per curve)\n\n");

@@ -8,7 +8,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   std::printf("Figure 9 — simulation, durations known "
               "(SRTF & SRSF vs Muri-S)\n\n");
   std::printf("%-10s | %6s %6s %6s | %6s %6s %6s\n", "trace", "JCT",

@@ -4,11 +4,13 @@
 // truth — see DESIGN.md §2).
 #include <cstdio>
 
+#include "bench_util.h"
 #include "job/model.h"
 
 using namespace muri;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   std::printf("Table 1 — stage duration percentage per iteration "
               "(16-worker profiles)\n");
   std::printf("%-12s %-10s %6s | %9s %10s %9s %11s | %s\n", "model",

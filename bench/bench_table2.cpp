@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_util.h"
 #include "interleave/efficiency.h"
 #include "job/model.h"
 #include "runtime/executor.h"
@@ -19,7 +20,8 @@
 
 using namespace muri;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   const ModelKind models[4] = {ModelKind::kShuffleNet, ModelKind::kA2c,
                                ModelKind::kGpt2, ModelKind::kVgg16};
 
@@ -39,6 +41,7 @@ int main() {
   opt.time_scale = 0.02;  // 1 simulated second -> 20 ms of wall work
   opt.run_for = 3.0;
   opt.slots = plan.slots;
+  opt.tracer = bench::obs_tracer();  // --trace-out dumps the stage rotation
 
   std::printf("Table 2 — interleaving four bottleneck-complementary jobs\n");
   std::printf("group plan: period=%.3fs gamma=%.3f\n\n", plan.period,

@@ -9,7 +9,8 @@
 using namespace muri;
 using namespace muri::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  muri::bench::init_obs(argc, argv);
   const Trace trace = testbed_trace();
   std::printf("Table 4 — testbed (64 GPUs, %zu jobs), durations known\n\n",
               trace.jobs.size());

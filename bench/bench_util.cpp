@@ -1,15 +1,83 @@
 #include "bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "common/flags.h"
+
 namespace muri::bench {
+
+namespace {
+
+// Process-wide obs sinks (set up once by init_obs, torn down at exit).
+// Simulations drive the tracer into the manual (sim-time) domain, so the
+// exported trace shows the schedule on the simulated timeline.
+struct ObsState {
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::string trace_path;
+  std::string metrics_path;
+};
+
+ObsState& obs_state() {
+  static ObsState state;
+  return state;
+}
+
+void flush_obs() {
+  ObsState& state = obs_state();
+  if (state.tracer != nullptr && !state.trace_path.empty()) {
+    if (state.tracer->write_json(state.trace_path)) {
+      std::fprintf(stderr, "wrote trace to %s (%zu events, %lld dropped)\n",
+                   state.trace_path.c_str(), state.tracer->recorded(),
+                   static_cast<long long>(state.tracer->dropped()));
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   state.trace_path.c_str());
+    }
+  }
+  if (state.metrics != nullptr && !state.metrics_path.empty()) {
+    if (state.metrics->write_prometheus(state.metrics_path)) {
+      std::fprintf(stderr, "wrote metrics to %s\n",
+                   state.metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   state.metrics_path.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+void init_obs(int argc, const char* const* argv) {
+  Flags flags(argc, argv);
+  ObsState& state = obs_state();
+  state.trace_path = flags.get("trace-out");
+  state.metrics_path = flags.get("metrics-out");
+  if (!state.trace_path.empty()) {
+    state.tracer = std::make_unique<obs::Tracer>();
+    state.tracer->set_enabled(true);
+  }
+  if (!state.metrics_path.empty()) {
+    state.metrics = std::make_unique<obs::MetricsRegistry>();
+  }
+  if (state.tracer != nullptr || state.metrics != nullptr) {
+    std::atexit(flush_obs);
+  }
+}
+
+obs::Tracer* obs_tracer() { return obs_state().tracer.get(); }
+
+obs::MetricsRegistry* obs_metrics() { return obs_state().metrics.get(); }
 
 SimOptions default_sim_options(bool durations_known) {
   SimOptions opt;
   opt.cluster.num_machines = 8;
   opt.cluster.gpus_per_machine = 8;
   opt.durations_known = durations_known;
+  opt.tracer = obs_tracer();
+  opt.metrics = obs_metrics();
   return opt;
 }
 
@@ -33,6 +101,8 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
     }
     if (name.find("-noblossom") != std::string::npos) opt.use_blossom = false;
     if (name.find("-nobucket") != std::string::npos) opt.bucket_by_gpu = false;
+    opt.trace = obs_tracer();
+    opt.metrics = obs_metrics();
     return std::make_unique<MuriScheduler>(opt);
   }
   throw std::invalid_argument("unknown scheduler: " + name);

@@ -11,13 +11,35 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "scheduler/baselines.h"
 #include "scheduler/muri.h"
 #include "sim/simulator.h"
 
 namespace muri::bench {
 
-// The evaluation cluster: 8 machines × 8 GPUs (§6.1).
+// Shared observability plumbing: call once at the top of main(). Parses
+// the common flag pair
+//
+//   --trace-out=<path>    dump a Chrome trace_event JSON of every run
+//   --metrics-out=<path>  dump a Prometheus text metrics snapshot
+//
+// and, when either is given, installs a process-wide tracer / metrics
+// registry that default_sim_options() and make_scheduler() attach to every
+// simulation and Muri scheduler automatically — so each bench binary gets
+// schedule dumps without per-binary plumbing. Files are written at normal
+// process exit. With neither flag, both accessors stay null and nothing
+// is recorded.
+void init_obs(int argc, const char* const* argv);
+
+// The process-wide sinks installed by init_obs (null when unset). Exposed
+// so a bench that drives the live executor can pass the tracer along.
+obs::Tracer* obs_tracer();
+obs::MetricsRegistry* obs_metrics();
+
+// The evaluation cluster: 8 machines × 8 GPUs (§6.1). Carries the
+// init_obs() sinks when they are installed.
 SimOptions default_sim_options(bool durations_known);
 
 // Fresh scheduler instances by canonical name: "FIFO", "SRTF", "SRSF",

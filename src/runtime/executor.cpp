@@ -7,11 +7,18 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.h"
+
 namespace muri::runtime {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+// Stage-span names, indexed by Resource; trace events store the pointer,
+// so they must be literals with static storage.
+constexpr const char* kResourceNames[kNumResources] = {"storage", "cpu",
+                                                       "gpu", "network"};
 
 // Occupies the stage's resource for `seconds`. The resource token (mutex)
 // models exclusivity; the thread itself sleeps for longer stages so that
@@ -60,11 +67,22 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
   std::vector<std::thread> threads;
   threads.reserve(p);
 
+  obs::Tracer* const tracer = options.tracer;
+  if (tracer != nullptr) {
+    tracer->name_track(obs::kExecutorTrack, "executor");
+    for (size_t i = 0; i < p; ++i) {
+      tracer->name_lane(obs::kExecutorTrack, static_cast<int>(i),
+                        jobs[i].name.empty() ? "job " + std::to_string(i)
+                                             : jobs[i].name);
+    }
+  }
+
   for (size_t i = 0; i < p; ++i) {
     threads.emplace_back([&, i] {
       const ExecJobSpec& spec = jobs[i];
       ExecJobResult& out = results[i];
       out.name = spec.name;
+      const int lane = static_cast<int>(i);
       const Clock::time_point t_start = Clock::now();
       // Injected fault: the wall-clock instant this thread dies.
       const Clock::time_point t_kill =
@@ -91,6 +109,9 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
             // dead member's slot idle — no deadlock.
             if (Clock::now() >= t_kill) {
               out.completed = false;
+              if (tracer != nullptr) {
+                tracer->instant("killed", "fault", obs::kExecutorTrack, lane);
+              }
               phase_barrier.arrive_and_drop();
               dropped = true;
               break;
@@ -99,11 +120,17 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
                 slots[static_cast<size_t>((spec.offset + ph) % s)]);
             const Duration t = spec.profile[static_cast<size_t>(r)];
             if (t > 0) {
+              obs::ScopedSpan span(tracer, kResourceNames[r], "stage",
+                                   obs::kExecutorTrack, lane);
               std::scoped_lock lock(
                   resources.tokens[static_cast<size_t>(r)]);
               work_for(t * options.time_scale);
             }
-            phase_barrier.arrive_and_wait();
+            {
+              obs::ScopedSpan span(tracer, "barrier", "sync",
+                                   obs::kExecutorTrack, lane);
+              phase_barrier.arrive_and_wait();
+            }
           }
           if (!dropped) ++out.iterations;
         }
@@ -113,6 +140,9 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
         while (!stop.load(std::memory_order_relaxed)) {
           if (Clock::now() >= t_kill) {
             out.completed = false;
+            if (tracer != nullptr) {
+              tracer->instant("killed", "fault", obs::kExecutorTrack, lane);
+            }
             break;
           }
           if (Clock::now() >= t_end) {
@@ -122,6 +152,10 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
           for (int r = 0; r < kNumResources; ++r) {
             const Duration t = spec.profile[static_cast<size_t>(r)];
             if (t > 0) {
+              // The span covers token wait + work: contention on the
+              // shared resource shows up as stretched stages.
+              obs::ScopedSpan span(tracer, kResourceNames[r], "stage",
+                                   obs::kExecutorTrack, lane);
               std::scoped_lock lock(
                   resources.tokens[static_cast<size_t>(r)]);
               work_for(t * options.time_scale);

@@ -25,6 +25,10 @@
 
 #include "common/types.h"
 
+namespace muri::obs {
+class Tracer;
+}  // namespace muri::obs
+
 namespace muri::runtime {
 
 struct ExecJobSpec {
@@ -51,6 +55,11 @@ struct ExecOptions {
   // Rotation axis for the coordinated schedule (InterleavePlan::slots).
   // Empty means all four resources in canonical order.
   std::vector<Resource> slots;
+  // Optional src/obs tracer (wall-clock domain). Each member thread
+  // records its stage occupancy spans (named by resource, including token
+  // wait in uncoordinated mode), barrier-wait spans, and kill instants on
+  // the executor track — one lane per member. Null skips everything.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ExecJobResult {

@@ -13,6 +13,8 @@
 
 #include "common/threadpool.h"
 #include "matching/blossom.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace muri {
 
@@ -53,6 +55,37 @@ void union_key(const GroupNode& a, const GroupNode& b, std::vector<int>& key) {
   key.insert(key.end(), a.members.begin(), a.members.end());
   key.insert(key.end(), b.members.begin(), b.members.end());
   std::sort(key.begin(), key.end());
+}
+
+// Folds one round's GroupingStats into the registry. Counters are bumped
+// once per schedule() call in call order, the same fold order
+// cumulative_stats_ uses, so the registry reproduces those doubles
+// *exactly* (bit-identical sums), not merely approximately.
+void export_round_metrics(obs::MetricsRegistry& m, const GroupingStats& round,
+                          std::size_t queue_jobs, std::size_t plan_groups,
+                          double round_wall_seconds) {
+  m.counter("muri_sched_rounds_total", "Scheduling rounds executed").inc();
+  m.counter("muri_sched_graph_build_seconds_total",
+            "Wall seconds building matching-graph edge weights")
+      .inc(round.graph_build_seconds);
+  m.counter("muri_sched_matching_seconds_total",
+            "Wall seconds inside Blossom matching")
+      .inc(round.matching_seconds);
+  m.counter("muri_sched_gamma_cache_hits_total",
+            "Gamma evaluations avoided by the memoization cache")
+      .inc(static_cast<double>(round.cache_hits));
+  m.counter("muri_sched_gamma_cache_misses_total",
+            "Gamma evaluations performed")
+      .inc(static_cast<double>(round.cache_misses));
+  m.counter("muri_sched_matchings_total", "Blossom invocations")
+      .inc(static_cast<double>(round.matchings_run));
+  m.gauge("muri_sched_queue_jobs", "Jobs visible to the last round")
+      .set(static_cast<double>(queue_jobs));
+  m.gauge("muri_sched_plan_groups", "Groups emitted by the last round")
+      .set(static_cast<double>(plan_groups));
+  m.summary("muri_sched_round_wall_seconds",
+            "End-to-end wall time of schedule()")
+      .observe(round_wall_seconds);
 }
 
 }  // namespace
@@ -264,6 +297,39 @@ double MuriScheduler::priority_of(const JobView& v) const {
 std::vector<PlannedGroup> MuriScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
   last_round_stats_ = {};
+  // Observability epilogue shared by both return paths. Purely read-only:
+  // the plan is computed before any of this runs, so instrumented and
+  // uninstrumented rounds emit bit-identical plans.
+  const bool instrumented =
+      options_.metrics != nullptr || options_.trace != nullptr;
+  const auto t_round = instrumented ? Clock::now() : Clock::time_point{};
+  const auto finish_round = [&](const std::vector<PlannedGroup>& plan) {
+    if (!instrumented) return;
+    const double wall_seconds = seconds_since(t_round);
+    if (options_.metrics != nullptr) {
+      export_round_metrics(*options_.metrics, last_round_stats_, queue.size(),
+                           plan.size(), wall_seconds);
+    }
+    if (options_.trace != nullptr && options_.trace->enabled()) {
+      obs::Tracer& tr = *options_.trace;
+      tr.name_track(obs::kSchedulerTrack, "scheduler");
+      // A true wall span in the steady domain; in the manual (sim-time)
+      // domain a round takes zero simulated time, so it collapses to a
+      // deterministic zero-duration marker at the current sim instant.
+      const std::int64_t end_us = tr.now_micros();
+      const std::int64_t dur_us =
+          tr.manual_time() ? 0
+                           : static_cast<std::int64_t>(wall_seconds * 1e6);
+      tr.complete(end_us - dur_us, dur_us, "round", "sched",
+                  obs::kSchedulerTrack, 0,
+                  obs::TraceArgs(
+                      "queue", static_cast<double>(queue.size()), "groups",
+                      static_cast<double>(plan.size()), "cache_hits",
+                      static_cast<double>(last_round_stats_.cache_hits),
+                      "matchings",
+                      static_cast<double>(last_round_stats_.matchings_run)));
+    }
+  };
   auto ordered =
       sorted_by_priority(queue, [&](const JobView& v) { return priority_of(v); });
 
@@ -279,6 +345,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
       plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}, 0});
     }
     sort_groups_for_placement(plan);
+    finish_round(plan);
     return plan;
   }
 
@@ -432,6 +499,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   for (const JobView& v : rest) {
     plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}, 0});
   }
+  finish_round(plan);
   return plan;
 }
 

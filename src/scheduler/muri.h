@@ -23,6 +23,11 @@
 #include "interleave/efficiency.h"
 #include "scheduler/scheduler.h"
 
+namespace muri::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace muri::obs
+
 namespace muri {
 
 class ThreadPool;
@@ -53,6 +58,14 @@ struct MuriOptions {
   // across write-once slots, it never reorders a floating-point reduction
   // — so this is purely a latency knob.
   int num_threads = 0;
+  // Observability hooks (src/obs), both optional and read-only with
+  // respect to the plan: `trace` receives a per-round span on the
+  // scheduler track, `metrics` absorbs the GroupingStats counters
+  // (muri_sched_* series) plus a round wall-time summary. Null pointers
+  // (the default) skip all instrumentation — the plan and every tier-1
+  // output are bit-identical either way.
+  obs::Tracer* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // Counters for one scheduling round (or one multi_round_grouping call):

@@ -11,6 +11,8 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "interleave/efficiency.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/fluid.h"
 
 namespace muri {
@@ -47,6 +49,10 @@ struct JobState {
   OwnerId owner = kNoOwner;       // GPU-set owner of the current group
   double straggler_factor = 1.0;  // period inflation from machine stragglers
   bool degraded = false;  // running in a group that lost a member mid-round
+  // Tracing bookkeeping: the open run-stage span (kNoTime = none) and the
+  // machine track it lives on.
+  Time run_since = kNoTime;
+  MachineId run_machine = kInvalidMachine;
 
   Duration remaining_solo() const {
     return (static_cast<double>(job->iterations) - done_iterations) *
@@ -121,6 +127,92 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
 
   FaultInjector injector(options.cluster.num_machines, options.machine_faults,
                          now);
+
+  // Fault accounting flows through a metrics registry (the caller's, so a
+  // live scrape sees the counters move mid-run, or a private one) and is
+  // read back into SimResult as per-run deltas at finalize. The increment
+  // sequence is identical to the old hand-rolled `result.x += ...`
+  // bookkeeping, so SimResult stays bit-identical.
+  obs::MetricsRegistry private_registry;
+  obs::MetricsRegistry& registry =
+      options.metrics != nullptr ? *options.metrics : private_registry;
+  obs::Counter& c_faults =
+      registry.counter("muri_sim_job_faults_total",
+                       "Job-level faults reported to the scheduler");
+  obs::Counter& c_restarts = registry.counter(
+      "muri_sim_restarts_total",
+      "Running jobs restarted by a group or placement change");
+  obs::Counter& c_machine_failures = registry.counter(
+      "muri_sim_machine_failures_total", "Machine-down events observed");
+  obs::Counter& c_evictions = registry.counter(
+      "muri_sim_evictions_total", "Jobs requeued by machine crashes");
+  obs::Counter& c_straggler_seconds =
+      registry.counter("muri_sim_straggler_seconds_total",
+                       "Job-seconds run at straggler slowdown > 1");
+  obs::Counter& c_degraded_seconds =
+      registry.counter("muri_sim_degraded_group_seconds_total",
+                       "Job-seconds run in a degraded group");
+  const double base_faults = c_faults.value();
+  const double base_restarts = c_restarts.value();
+  const double base_machine_failures = c_machine_failures.value();
+  const double base_evictions = c_evictions.value();
+  const double base_straggler_seconds = c_straggler_seconds.value();
+  const double base_degraded_seconds = c_degraded_seconds.value();
+
+  // Event tracing (simulated-time clock domain). Track layout: one track
+  // per machine (job run-stage spans + fault windows) plus the scheduler
+  // track (submits, rounds). All instrumentation below is read-only with
+  // respect to simulation state.
+  obs::Tracer* const tracer = options.tracer;
+  const auto to_us = [](Time t) {
+    return static_cast<std::int64_t>(t * 1e6);
+  };
+  if (tracer != nullptr) {
+    tracer->set_manual_seconds(now);
+    tracer->name_track(obs::kSchedulerTrack, "scheduler");
+    for (int m = 0; m < options.cluster.num_machines; ++m) {
+      tracer->name_track(obs::machine_track(m), "machine " + std::to_string(m));
+    }
+  }
+  // Open fault windows per machine (kNoTime = none), exported as spans on
+  // the machine track when the window closes or the run ends.
+  std::vector<Time> machine_down_since(
+      static_cast<size_t>(options.cluster.num_machines), kNoTime);
+  std::vector<Time> machine_straggler_since(
+      static_cast<size_t>(options.cluster.num_machines), kNoTime);
+
+  // Run-stage span helpers. A span covers one uninterrupted placement of a
+  // job (same group key, same machine set); whatever ends it — preemption,
+  // eviction, fault, completion, regrouping — closes the span first and
+  // then marks the cause with an instant event.
+  const auto end_run_span = [&](JobState& s) {
+    if (tracer == nullptr || s.run_since == kNoTime) return;
+    const int pid = obs::machine_track(s.run_machine >= 0 ? s.run_machine : 0);
+    tracer->complete(
+        to_us(s.run_since), to_us(now) - to_us(s.run_since), "run-stage",
+        "job", pid, static_cast<int>(s.job->id),
+        obs::TraceArgs("group_size", static_cast<double>(s.key.members.size()),
+                       "gamma", s.group_gamma, "period", s.period, "degraded",
+                       s.degraded ? 1.0 : 0.0));
+    s.run_since = kNoTime;
+    s.run_machine = kInvalidMachine;
+  };
+  const auto begin_run_span = [&](JobState& s, MachineId machine) {
+    if (tracer == nullptr) return;
+    s.run_since = now;
+    s.run_machine = machine;
+    tracer->name_lane(obs::machine_track(machine >= 0 ? machine : 0),
+                      static_cast<int>(s.job->id),
+                      "job " + std::to_string(s.job->id));
+  };
+  const auto job_instant = [&](const JobState& s, const char* name) {
+    if (tracer == nullptr) return;
+    const int pid = s.run_machine >= 0 ? obs::machine_track(s.run_machine)
+                                       : obs::kSchedulerTrack;
+    tracer->instant_at(to_us(now), name, "job", pid,
+                       static_cast<int>(s.job->id),
+                       obs::TraceArgs("job", static_cast<double>(s.job->id)));
+  };
 
   // Metrics accumulators.
   TimeWeightedAverage queue_avg;
@@ -241,11 +333,12 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         s.done_iterations += effective / (s.period * s.straggler_factor);
         s.attained_gpu_seconds +=
             effective * static_cast<double>(s.job->num_gpus);
-        if (s.straggler_factor > 1.0) result.straggler_seconds += effective;
-        if (s.degraded) result.degraded_group_seconds += effective;
+        if (s.straggler_factor > 1.0) c_straggler_seconds.inc(effective);
+        if (s.degraded) c_degraded_seconds.inc(effective);
       }
     }
     now = t;
+    if (tracer != nullptr) tracer->set_manual_seconds(now);
   };
 
   auto projected_finish = [&](const JobState& s) -> Time {
@@ -355,9 +448,14 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     key.num_gpus = g.num_gpus;
     for (size_t i = 0; i < p; ++i) {
       JobState& s = states[static_cast<size_t>(g.members[i])];
+      // A survivor's configuration changed: close its run-stage span and
+      // open the degraded continuation on the same machine track.
+      end_run_span(s);
       s.period = periods[i];
       s.key = key;
       s.degraded = true;
+      begin_run_span(s, g.machines.empty() ? kInvalidMachine
+                                           : g.machines.front());
     }
   };
 
@@ -518,13 +616,19 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       }
 
       const std::vector<MachineId>& machines = running_groups.at(owner).machines;
+      const MachineId home =
+          machines.empty() ? kInvalidMachine : machines.front();
       for (size_t i = 0; i < p; ++i) {
         const JobId id = group->members[i];
         JobState& s = states[static_cast<size_t>(id)];
         const bool unchanged = s.running && s.key == key;
         s.period = periods[i];
         if (!unchanged) {
-          if (s.running) ++result.restarts;
+          if (s.running) {
+            c_restarts.inc();
+            job_instant(s, "restart");
+            end_run_span(s);
+          }
           s.key = key;
           s.ready_at = now + options.restart_penalty;
           s.next_fault =
@@ -536,7 +640,17 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         s.owner = owner;
         s.straggler_factor = straggler_factor_for(*s.job, machines);
         s.degraded = false;
+        const bool was_running = s.running;
         s.running = true;
+        // A fresh or reconfigured placement opens a new run-stage span; a
+        // placement that merely moved machines cycles the span so each
+        // span stays on one machine track.
+        if (!was_running || s.run_since == kNoTime) {
+          begin_run_span(s, home);
+        } else if (s.run_machine != home) {
+          end_run_span(s);
+          begin_run_span(s, home);
+        }
         newly_running.insert(id);
       }
     }
@@ -544,6 +658,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     // Jobs not in the admitted plan are preempted back to the queue.
     for (JobState& s : states) {
       if (s.running && !newly_running.count(s.job->id)) {
+        job_instant(s, "preempt");
+        end_run_span(s);
         s.running = false;
         s.period = 0;
         s.key = GroupKey{};
@@ -604,6 +720,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       JobState& s = states[arrival_order[next_arrival]];
       s.arrived = true;
       s.measured = profiler.profile(*s.job);
+      job_instant(s, "submit");
       dirty = true;
       ++next_arrival;
     }
@@ -618,7 +735,17 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         switch (e.kind) {
           case FaultEvent::Kind::kMachineDown: {
             monitor.on_failure(e.machine, now);
-            ++result.machine_failures;
+            c_machine_failures.inc();
+            if (machine_straggler_since[mi] != kNoTime && tracer != nullptr) {
+              // A crash closes any open straggler window (the injector
+              // emits kStragglerEnd first, but belt and braces).
+              tracer->complete(to_us(machine_straggler_since[mi]),
+                               to_us(now) - to_us(machine_straggler_since[mi]),
+                               "straggler", "fault",
+                               obs::machine_track(e.machine), 0);
+              machine_straggler_since[mi] = kNoTime;
+            }
+            machine_down_since[mi] = now;
             machine_slow[mi] = ResourceVector{1.0, 1.0, 1.0, 1.0};
             for (auto it = running_groups.begin();
                  it != running_groups.end();) {
@@ -633,6 +760,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
               for (JobId id : it->second.members) {
                 JobState& s = states[static_cast<size_t>(id)];
                 if (s.running && !s.finished) {
+                  job_instant(s, "evict");
+                  end_run_span(s);
                   s.running = false;
                   s.period = 0;
                   s.key = GroupKey{};
@@ -640,7 +769,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                   s.next_fault = kInf;
                   s.straggler_factor = 1.0;
                   s.degraded = false;
-                  ++result.evictions;
+                  c_evictions.inc();
                 }
               }
               cluster.release(it->first);
@@ -652,6 +781,13 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           }
           case FaultEvent::Kind::kMachineUp: {
             monitor.on_recovery(e.machine, now);
+            if (machine_down_since[mi] != kNoTime && tracer != nullptr) {
+              tracer->complete(to_us(machine_down_since[mi]),
+                               to_us(now) - to_us(machine_down_since[mi]),
+                               "down", "fault", obs::machine_track(e.machine),
+                               0);
+            }
+            machine_down_since[mi] = kNoTime;
             if (monitor.schedulable(e.machine)) {
               cluster.set_machine_available(e.machine, true);
               dirty = true;
@@ -660,12 +796,23 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           }
           case FaultEvent::Kind::kStragglerStart: {
             monitor.on_straggler(e.machine, true);
+            machine_straggler_since[mi] = now;
             machine_slow[mi] = e.slowdown;
             refresh_straggler_factors();
             break;
           }
           case FaultEvent::Kind::kStragglerEnd: {
             monitor.on_straggler(e.machine, false);
+            if (machine_straggler_since[mi] != kNoTime && tracer != nullptr) {
+              const ResourceVector& slow = machine_slow[mi];
+              tracer->complete(
+                  to_us(machine_straggler_since[mi]),
+                  to_us(now) - to_us(machine_straggler_since[mi]), "straggler",
+                  "fault", obs::machine_track(e.machine), 0,
+                  obs::TraceArgs("storage", slow[0], "cpu", slow[1], "gpu",
+                                 slow[2], "network", slow[3]));
+            }
+            machine_straggler_since[mi] = kNoTime;
             machine_slow[mi] = ResourceVector{1.0, 1.0, 1.0, 1.0};
             refresh_straggler_factors();
             break;
@@ -690,6 +837,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                 static_cast<double>(s.job->iterations) - kIterEps) {
           const OwnerId owner = s.owner;
           const JobId dead = s.job->id;
+          job_instant(s, "fault");
+          end_run_span(s);
           s.running = false;
           s.period = 0;
           s.key = GroupKey{};
@@ -697,7 +846,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           s.next_fault = kInf;
           s.straggler_factor = 1.0;
           s.degraded = false;
-          ++result.faults;
+          c_faults.inc();
           dirty = true;
           if (owner != kNoOwner) {
             auto it = running_groups.find(owner);
@@ -722,6 +871,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       if (!s.finished && s.running &&
           s.done_iterations >=
               static_cast<double>(s.job->iterations) - kIterEps) {
+        job_instant(s, "finish");
+        end_run_span(s);
         s.finished = true;
         s.running = false;
         s.period = 0;
@@ -777,6 +928,13 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
               .count();
       ++result.scheduler_invocations;
 
+      if (tracer != nullptr) {
+        tracer->instant_at(
+            to_us(now), "round", "sched", obs::kSchedulerTrack, 0,
+            obs::TraceArgs("queue", static_cast<double>(queue.size()),
+                           "groups", static_cast<double>(plan.size())));
+      }
+
       apply_plan(plan);
       last_round = now;
       // Keep rounds firing while jobs wait: time-varying priorities
@@ -810,7 +968,38 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     observe_metrics();
   }
 
-  // Finalize metrics.
+  // Close trace spans still open at the stop (max_time cutoffs, aborted
+  // runs, machines that never came back).
+  if (tracer != nullptr) {
+    for (JobState& s : states) {
+      end_run_span(s);
+    }
+    for (size_t m = 0; m < machine_down_since.size(); ++m) {
+      if (machine_down_since[m] != kNoTime) {
+        tracer->complete(to_us(machine_down_since[m]),
+                         to_us(now) - to_us(machine_down_since[m]), "down",
+                         "fault", obs::machine_track(static_cast<int>(m)), 0);
+      }
+      if (machine_straggler_since[m] != kNoTime) {
+        tracer->complete(to_us(machine_straggler_since[m]),
+                         to_us(now) - to_us(machine_straggler_since[m]),
+                         "straggler", "fault",
+                         obs::machine_track(static_cast<int>(m)), 0);
+      }
+    }
+  }
+
+  // Finalize metrics. The fault counters come back out of the registry as
+  // per-run deltas (the registry may be shared across runs).
+  result.faults = std::llround(c_faults.value() - base_faults);
+  result.restarts = std::llround(c_restarts.value() - base_restarts);
+  result.machine_failures =
+      std::llround(c_machine_failures.value() - base_machine_failures);
+  result.evictions = std::llround(c_evictions.value() - base_evictions);
+  result.straggler_seconds =
+      c_straggler_seconds.value() - base_straggler_seconds;
+  result.degraded_group_seconds =
+      c_degraded_seconds.value() - base_degraded_seconds;
   result.finished_jobs = static_cast<int>(finished_count);
   result.unfinished_jobs = static_cast<int>(n - finished_count);
   result.avg_jct = mean(result.jcts);

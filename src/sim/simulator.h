@@ -36,6 +36,11 @@
 #include "profiler/profiler.h"
 #include "scheduler/scheduler.h"
 
+namespace muri::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace muri::obs
+
 namespace muri {
 
 struct SimOptions {
@@ -98,6 +103,16 @@ struct SimOptions {
   // Safety stop; 0 disables. Jobs unfinished at the stop are dropped from
   // JCT statistics and reported in `unfinished_jobs`.
   Time max_time = 0;
+  // Observability hooks (src/obs), both optional. `tracer` is driven in
+  // the simulated-time clock domain (the run exports a Chrome trace with
+  // per-machine tracks: job run spans, preemptions, fault windows,
+  // scheduling rounds); it observes the simulation without perturbing it,
+  // so results with and without tracing are bit-identical. The fault
+  // counters in SimResult are accumulated through `metrics` (or a private
+  // registry when null), making them scrapeable mid-run; SimResult reads
+  // the per-run deltas back out at finalize.
+  obs::Tracer* tracer = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct SimResult {
