@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "common/flags.h"
+#include "common/logging.h"
+#include "obs/http_exporter.h"
 
 namespace muri::bench {
 
@@ -16,6 +18,7 @@ namespace {
 struct ObsState {
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::HttpExporter> exporter;
   std::string trace_path;
   std::string metrics_path;
 };
@@ -27,6 +30,11 @@ ObsState& obs_state() {
 
 void flush_obs() {
   ObsState& state = obs_state();
+  // Tear down anything that references the sinks before the files are
+  // written: the log hook holds the tracer, the exporter serves the
+  // registry; both must be gone before state's members can die.
+  obs::attach_log_tracer(nullptr);
+  if (state.exporter != nullptr) state.exporter->stop();
   if (state.tracer != nullptr && !state.trace_path.empty()) {
     if (state.tracer->write_json(state.trace_path)) {
       std::fprintf(stderr, "wrote trace to %s (%zu events, %lld dropped)\n",
@@ -53,14 +61,45 @@ void flush_obs() {
 void init_obs(int argc, const char* const* argv) {
   Flags flags(argc, argv);
   ObsState& state = obs_state();
+
+  const std::string level_text = flags.get("log-level");
+  if (!level_text.empty()) {
+    LogLevel level = LogLevel::kWarn;
+    if (parse_log_level(level_text, level)) {
+      set_log_level(level);
+    } else {
+      std::fprintf(stderr,
+                   "ignoring unknown --log-level '%s' "
+                   "(use debug|info|warn|error|off)\n",
+                   level_text.c_str());
+    }
+  }
+
   state.trace_path = flags.get("trace-out");
   state.metrics_path = flags.get("metrics-out");
+  const bool serve_metrics = flags.has("metrics-port");
   if (!state.trace_path.empty()) {
     state.tracer = std::make_unique<obs::Tracer>();
     state.tracer->set_enabled(true);
+    // Warnings/errors land on the trace timeline next to the spans that
+    // explain them.
+    obs::attach_log_tracer(state.tracer.get());
   }
-  if (!state.metrics_path.empty()) {
+  if (!state.metrics_path.empty() || serve_metrics) {
     state.metrics = std::make_unique<obs::MetricsRegistry>();
+  }
+  if (serve_metrics) {
+    state.exporter = std::make_unique<obs::HttpExporter>(*state.metrics);
+    std::string error;
+    // Port 0 asks the kernel for an ephemeral port (printed below).
+    if (state.exporter->start(flags.get_int("metrics-port", 0), &error)) {
+      std::fprintf(stderr, "serving metrics on http://127.0.0.1:%d/metrics\n",
+                   state.exporter->port());
+    } else {
+      std::fprintf(stderr, "failed to start metrics exporter: %s\n",
+                   error.c_str());
+      state.exporter.reset();
+    }
   }
   if (state.tracer != nullptr || state.metrics != nullptr) {
     std::atexit(flush_obs);
@@ -147,16 +186,17 @@ void print_normalized_table(const std::string& title,
 }
 
 void print_raw_table(const std::vector<SimResult>& results) {
-  std::printf("  %-24s %10s %10s %10s %8s %8s %6s %6s\n", "scheduler",
-              "avg JCT", "p99 JCT", "makespan", "queue", "block", "width",
-              "rate");
+  std::printf("  %-24s %10s %10s %10s %8s %8s %6s %6s %7s %7s\n",
+              "scheduler", "avg JCT", "p99 JCT", "makespan", "queue",
+              "block", "width", "rate", "g-pred", "g-real");
   for (const SimResult& r : results) {
-    std::printf("  %-24s %10s %10s %10s %8.1f %8.2f %6.2f %6.2f\n",
+    std::printf("  %-24s %10s %10s %10s %8.1f %8.2f %6.2f %6.2f %7.3f %7.3f\n",
                 r.scheduler_name.c_str(), fmt_duration(r.avg_jct).c_str(),
                 fmt_duration(r.p99_jct).c_str(),
                 fmt_duration(r.makespan).c_str(), r.avg_queue_length,
                 r.avg_blocking_index, r.avg_group_width,
-                r.avg_normalized_rate);
+                r.avg_normalized_rate, r.avg_group_gamma_predicted,
+                r.avg_group_gamma_realized);
   }
 }
 

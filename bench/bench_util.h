@@ -20,17 +20,24 @@
 namespace muri::bench {
 
 // Shared observability plumbing: call once at the top of main(). Parses
-// the common flag pair
+// the common flags
 //
 //   --trace-out=<path>    dump a Chrome trace_event JSON of every run
 //   --metrics-out=<path>  dump a Prometheus text metrics snapshot
+//   --metrics-port=<p>    serve live Prometheus text at
+//                         http://127.0.0.1:<p>/metrics (and JSON at
+//                         /metrics.json) for the life of the process;
+//                         port 0 picks an ephemeral port (printed to
+//                         stderr)
+//   --log-level=<l>       debug|info|warn|error|off (default warn)
 //
-// and, when either is given, installs a process-wide tracer / metrics
-// registry that default_sim_options() and make_scheduler() attach to every
-// simulation and Muri scheduler automatically — so each bench binary gets
-// schedule dumps without per-binary plumbing. Files are written at normal
-// process exit. With neither flag, both accessors stay null and nothing
-// is recorded.
+// and, when any sink flag is given, installs a process-wide tracer /
+// metrics registry that default_sim_options() and make_scheduler() attach
+// to every simulation and Muri scheduler automatically — so each bench
+// binary gets schedule dumps without per-binary plumbing. With a tracer
+// installed, MURI_LOG warnings/errors are mirrored onto the trace
+// timeline. Files are written at normal process exit. With no flags,
+// both accessors stay null and nothing is recorded.
 void init_obs(int argc, const char* const* argv);
 
 // The process-wide sinks installed by init_obs (null when unset). Exposed

@@ -5,23 +5,46 @@
 //   ./examples/live_interleave                         # Table 2 group
 //   ./examples/live_interleave --seconds 5 bert a2c
 //   ./examples/live_interleave --uncoordinated gpt2 gpt2
+//   ./examples/live_interleave --metrics-port=9090 --seconds 30
+//       (then: curl http://127.0.0.1:9090/metrics)
+//   ./examples/live_interleave --trace-out=live.json
 //
 // Compares each job's live throughput against its solo run and reports
 // the aggregate normalized throughput (>1 means interleaving beat
-// dedicating the resources to one job at a time).
+// dedicating the resources to one job at a time), plus the realized
+// interleaving efficiency γ against the plan's prediction.
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/flags.h"
+#include "common/logging.h"
 #include "interleave/efficiency.h"
 #include "job/model.h"
+#include "obs/http_exporter.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "runtime/executor.h"
 
 using namespace muri;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+
+  const std::string level_text = flags.get("log-level");
+  if (!level_text.empty()) {
+    LogLevel level = LogLevel::kWarn;
+    if (parse_log_level(level_text, level)) {
+      set_log_level(level);
+    } else {
+      std::fprintf(stderr,
+                   "unknown --log-level '%s' "
+                   "(use debug|info|warn|error|off)\n",
+                   level_text.c_str());
+      return 1;
+    }
+  }
 
   std::vector<ModelKind> models;
   for (const std::string& name : flags.positional()) {
@@ -45,6 +68,32 @@ int main(int argc, char** argv) {
   options.time_scale = flags.get_double("time-scale", 0.02);
   options.run_for = flags.get_double("seconds", 2.0);
   options.coordinate = !flags.get_bool("uncoordinated");
+
+  // Optional observability sinks: a wall-clock trace of every stage span
+  // and a live /metrics endpoint you can curl while the group runs.
+  const std::string trace_path = flags.get("trace-out");
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_path.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+    tracer->set_enabled(true);
+    obs::attach_log_tracer(tracer.get());
+    options.tracer = tracer.get();
+  }
+  std::unique_ptr<obs::MetricsRegistry> metrics;
+  std::unique_ptr<obs::HttpExporter> exporter;
+  if (flags.has("metrics-port")) {
+    metrics = std::make_unique<obs::MetricsRegistry>();
+    exporter = std::make_unique<obs::HttpExporter>(*metrics);
+    std::string error;
+    if (!exporter->start(flags.get_int("metrics-port", 0), &error)) {
+      std::fprintf(stderr, "failed to start metrics exporter: %s\n",
+                   error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "serving metrics on http://127.0.0.1:%d/metrics\n",
+                 exporter->port());
+    options.metrics = metrics.get();
+  }
 
   // Plan offsets from the interleaving math.
   std::vector<ResourceVector> stages;
@@ -72,6 +121,7 @@ int main(int argc, char** argv) {
     solo[i] = run_solo(specs[i], options).sim_throughput;
   }
 
+  options.gamma_predicted = options.coordinate ? plan.efficiency : 0;
   const auto group = run_group(specs, options);
 
   std::printf("\n%-12s %12s %12s %8s\n", "model", "solo it/s", "group it/s",
@@ -85,8 +135,21 @@ int main(int argc, char** argv) {
                 group.jobs[i].sim_throughput, norm);
   }
   std::printf("%-12s %12s %12s %8.2f\n", "total", "", "", total);
-  std::printf("\n(plan: period %.3fs, gamma %.2f; >1.0 total means the "
-              "group beat exclusive serial execution)\n",
-              plan.period, plan.efficiency);
+  std::printf("\n(plan: period %.3fs, gamma %.2f, realized gamma %.2f; "
+              ">1.0 total means the group beat exclusive serial "
+              "execution)\n",
+              plan.period, plan.efficiency, group.gamma_realized);
+
+  if (exporter != nullptr) exporter->stop();
+  if (tracer != nullptr) {
+    obs::attach_log_tracer(nullptr);
+    if (tracer->write_json(trace_path)) {
+      std::fprintf(stderr, "wrote trace to %s (%zu events)\n",
+                   trace_path.c_str(), tracer->recorded());
+    } else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   trace_path.c_str());
+    }
+  }
   return 0;
 }

@@ -32,6 +32,36 @@ void set_log_level(LogLevel level) noexcept {
   g_level.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
+bool parse_log_level(std::string_view text, LogLevel& out) noexcept {
+  if (text == "debug") {
+    out = LogLevel::kDebug;
+  } else if (text == "info") {
+    out = LogLevel::kInfo;
+  } else if (text == "warn") {
+    out = LogLevel::kWarn;
+  } else if (text == "error") {
+    out = LogLevel::kError;
+  } else if (text == "off") {
+    out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace {
+// Hook state shared with emit(); both sides serialize on log_mutex(), so a
+// plain pair is race-free and the hook never observes a torn (fn, ctx).
+LogHook g_hook = nullptr;
+void* g_hook_ctx = nullptr;
+}  // namespace
+
+void set_log_hook(LogHook hook, void* ctx) noexcept {
+  std::lock_guard<std::mutex> lock(detail::log_mutex());
+  g_hook = hook;
+  g_hook_ctx = ctx;
+}
+
 namespace detail {
 
 std::mutex& log_mutex() {
@@ -42,6 +72,7 @@ std::mutex& log_mutex() {
 void emit(LogLevel level, const std::string& message) {
   std::lock_guard<std::mutex> lock(log_mutex());
   std::cerr << "[muri:" << level_name(level) << "] " << message << '\n';
+  if (g_hook != nullptr) g_hook(level, message.c_str(), g_hook_ctx);
 }
 
 }  // namespace detail

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace muri {
 
@@ -21,6 +22,18 @@ enum class LogLevel : int {
 // Process-wide log level; defaults to kWarn so tests and benches stay quiet.
 LogLevel log_level() noexcept;
 void set_log_level(LogLevel level) noexcept;
+
+// Parses "debug" / "info" / "warn" / "error" / "off" (case-sensitive, the
+// shared --log-level flag vocabulary). Returns false on unknown names.
+bool parse_log_level(std::string_view text, LogLevel& out) noexcept;
+
+// Optional observer invoked (under the log mutex) for every message that
+// clears the active level, after it is written to stderr. The observability
+// layer uses this to mirror warnings onto the trace timeline
+// (obs::attach_log_tracer); anything else that wants a copy of the log
+// stream can install one too. Null detaches. The hook must not log.
+using LogHook = void (*)(LogLevel level, const char* message, void* ctx);
+void set_log_hook(LogHook hook, void* ctx) noexcept;
 
 namespace detail {
 void emit(LogLevel level, const std::string& message);

@@ -1,0 +1,146 @@
+#include "obs/http_exporter.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace muri::obs {
+
+namespace {
+
+// Enough for any sane request line + headers; longer requests are answered
+// from whatever fit (the path is all we look at).
+constexpr std::size_t kMaxRequest = 8192;
+
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to salvage
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const char* status, const char* content_type,
+                   const std::string& body) {
+  std::string head = "HTTP/1.1 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+bool HttpExporter::start(int port, std::string* error) {
+  if (listen_fd_ >= 0) {
+    if (error != nullptr) *error = "exporter already running";
+    return false;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 8) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  // Resolve the ephemeral port for port=0 binds.
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+  listen_fd_ = fd;
+  thread_ = std::thread([this] { serve(); });
+  return true;
+}
+
+void HttpExporter::stop() {
+  if (listen_fd_ < 0) return;
+  // Unblock the accept loop: shutdown makes a blocked accept() return with
+  // an error on Linux, and close() drops the fd either way.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+  port_ = 0;
+}
+
+void HttpExporter::serve() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void HttpExporter::handle_connection(int fd) {
+  // Read until the end of headers (or the cap); only the request line
+  // matters.
+  std::string request;
+  char buf[1024];
+  while (request.size() < kMaxRequest &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  if (request.empty()) return;
+
+  // "GET <path> HTTP/1.x"
+  const std::size_t method_end = request.find(' ');
+  if (method_end == std::string::npos) {
+    send_response(fd, "400 Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::size_t path_end = request.find(' ', method_end + 1);
+  const std::string path =
+      path_end == std::string::npos
+          ? std::string()
+          : request.substr(method_end + 1, path_end - method_end - 1);
+
+  if (request.compare(0, method_end, "GET") != 0) {
+    send_response(fd, "405 Method Not Allowed", "text/plain",
+                  "only GET is supported\n");
+    return;
+  }
+  if (path == "/metrics") {
+    send_response(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                  registry_.prometheus_text());
+  } else if (path == "/metrics.json") {
+    send_response(fd, "200 OK", "application/json",
+                  registry_.json_snapshot());
+  } else {
+    send_response(fd, "404 Not Found", "text/plain",
+                  "try /metrics or /metrics.json\n");
+  }
+}
+
+}  // namespace muri::obs

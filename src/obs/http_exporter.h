@@ -1,0 +1,59 @@
+// Minimal live-metrics HTTP endpoint — the "scrape it" door into the
+// metrics registry.
+//
+// A single background thread runs a blocking accept loop on a loopback
+// socket and answers two routes:
+//
+//   GET /metrics        Prometheus text exposition (text/plain; version=0.0.4)
+//   GET /metrics.json   the registry's JSON snapshot
+//
+// anything else is a 404. Requests are served one at a time with
+// Connection: close — this is an operator peephole for `curl` and a
+// single Prometheus scraper, not a web server. The registry handles are
+// thread-safe, so scraping a run in flight is safe by construction.
+//
+// Opt-in via --metrics-port in bench_util and examples/live_interleave;
+// port 0 binds an ephemeral port (see port() after start), which is what
+// the tests use. stop() (or destruction) shuts the listener down and joins
+// the serving thread; in-flight responses finish first.
+#pragma once
+
+#include <string>
+#include <thread>
+
+namespace muri::obs {
+
+class MetricsRegistry;
+
+class HttpExporter {
+ public:
+  explicit HttpExporter(const MetricsRegistry& registry)
+      : registry_(registry) {}
+  ~HttpExporter() { stop(); }
+
+  HttpExporter(const HttpExporter&) = delete;
+  HttpExporter& operator=(const HttpExporter&) = delete;
+
+  // Binds 127.0.0.1:port (0 = ephemeral) and starts the serving thread.
+  // Returns false with a message in `error` on socket failures or if
+  // already running.
+  bool start(int port, std::string* error);
+
+  // Shuts the listener down and joins the serving thread. Idempotent.
+  void stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  // The bound port (resolves ephemeral binds); 0 when not running.
+  int port() const { return port_; }
+
+ private:
+  void serve();
+  void handle_connection(int fd);
+
+  const MetricsRegistry& registry_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+};
+
+}  // namespace muri::obs

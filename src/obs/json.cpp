@@ -63,12 +63,18 @@ class Parser {
     return false;
   }
 
+  // Containers recurse; a hostile input of  [[[[…  must fail cleanly
+  // instead of overflowing the stack.
+  static constexpr int kMaxDepth = 192;
+
   bool parse_value(JsonValue& out) {
     if (pos_ >= text_.size()) return fail("unexpected end of input");
     switch (text_[pos_]) {
       case '{':
+        if (depth_ >= kMaxDepth) return fail("nesting too deep");
         return parse_object(out);
       case '[':
+        if (depth_ >= kMaxDepth) return fail("nesting too deep");
         return parse_array(out);
       case '"':
         out.type = JsonValue::Type::kString;
@@ -91,6 +97,7 @@ class Parser {
 
   bool parse_object(JsonValue& out) {
     out.type = JsonValue::Type::kObject;
+    const DepthGuard guard(this);
     if (!consume('{')) return fail("expected '{'");
     skip_ws();
     if (consume('}')) return true;
@@ -112,6 +119,7 @@ class Parser {
 
   bool parse_array(JsonValue& out) {
     out.type = JsonValue::Type::kArray;
+    const DepthGuard guard(this);
     if (!consume('[')) return fail("expected '['");
     skip_ws();
     if (consume(']')) return true;
@@ -214,8 +222,15 @@ class Parser {
     return true;
   }
 
+  struct DepthGuard {
+    explicit DepthGuard(Parser* p) : parser(p) { ++parser->depth_; }
+    ~DepthGuard() { --parser->depth_; }
+    Parser* parser;
+  };
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
   std::string message_;
 };
 

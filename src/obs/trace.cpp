@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace muri::obs {
 
 namespace {
@@ -65,14 +67,21 @@ void append_double(std::string& out, double v) {
   out += buf;
 }
 
-void append_args(std::string& out, const TraceArgs& args) {
+void append_args(std::string& out, const TraceArgs& args,
+                 const std::string& detail) {
   bool any = false;
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < TraceArgs::kCapacity; ++i) {
     if (args.key[i] == nullptr) continue;
     out += any ? ",\"" : ",\"args\":{\"";
     append_escaped(out, args.key[i]);
     out += "\":";
     append_double(out, args.value[i]);
+    any = true;
+  }
+  if (!detail.empty()) {
+    out += any ? ",\"message\":\"" : ",\"args\":{\"message\":\"";
+    append_escaped(out, detail.c_str());
+    out += '"';
     any = true;
   }
   if (any) out += '}';
@@ -135,16 +144,17 @@ Tracer::Ring& Tracer::local_ring() {
 
 void Tracer::record(char phase, std::int64_t ts_us, std::int64_t dur_us,
                     const char* name, const char* cat, int pid, int tid,
-                    const TraceArgs& args) {
+                    const TraceArgs& args, const std::string* detail) {
   Ring& ring = local_ring();
   std::lock_guard<std::mutex> lock(ring.mu);
-  Event e{name, cat, phase, pid, tid, ts_us, dur_us, ring.seq++, args};
+  Event e{name,   cat,    phase,     pid,  tid, ts_us,
+          dur_us, ring.seq++, args, detail != nullptr ? *detail : std::string()};
   if (ring.events.size() < ring.capacity) {
-    ring.events.push_back(e);
+    ring.events.push_back(std::move(e));
   } else {
     // Full: overwrite the oldest event so the ring always holds the most
     // recent window, and account for the loss.
-    ring.events[ring.next] = e;
+    ring.events[ring.next] = std::move(e);
     ring.next = (ring.next + 1) % ring.capacity;
     ++ring.dropped;
   }
@@ -167,6 +177,19 @@ void Tracer::complete(std::int64_t ts_us, std::int64_t dur_us,
                       TraceArgs args) {
   if (!enabled()) return;
   record('X', ts_us, dur_us, name, cat, pid, tid, args);
+}
+
+void Tracer::counter(std::int64_t ts_us, const char* name, int pid,
+                     TraceArgs args) {
+  if (!enabled()) return;
+  record('C', ts_us, 0, name, "counter", pid, 0, args);
+}
+
+void Tracer::instant_text(std::int64_t ts_us, const char* name,
+                          const char* cat, int pid, int tid,
+                          const std::string& message) {
+  if (!enabled()) return;
+  record('i', ts_us, 0, name, cat, pid, tid, TraceArgs{}, &message);
 }
 
 void Tracer::name_track(int pid, const std::string& name) {
@@ -278,7 +301,7 @@ std::string Tracer::chrome_trace_json() const {
     }
     std::snprintf(buf, sizeof(buf), "\"pid\":%d,\"tid\":%d", e.pid, e.tid);
     out += buf;
-    append_args(out, e.args);
+    append_args(out, e.args, e.detail);
     out += '}';
   }
   std::snprintf(buf, sizeof(buf),
@@ -295,6 +318,34 @@ bool Tracer::write_json(const std::string& path) const {
   if (f == nullptr) return false;
   const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
   return std::fclose(f) == 0 && ok;
+}
+
+namespace {
+
+// The tracer behind the common/logging hook. Written only by
+// attach_log_tracer (under the log mutex via set_log_hook) and read by the
+// hook itself, which also runs under the log mutex.
+Tracer* g_log_tracer = nullptr;
+
+void log_to_tracer(LogLevel level, const char* message, void* /*ctx*/) {
+  Tracer* const t = g_log_tracer;
+  if (t == nullptr || level < LogLevel::kWarn) return;
+  const char* const name = level >= LogLevel::kError ? "error" : "warn";
+  t->instant_text(t->now_micros(), name, "log", kSchedulerTrack, 0, message);
+}
+
+}  // namespace
+
+void attach_log_tracer(Tracer* tracer) {
+  // Order matters on detach: clear the hook first so no emit() can race a
+  // dying tracer. set_log_hook serializes with in-flight emits.
+  if (tracer == nullptr) {
+    set_log_hook(nullptr, nullptr);
+    g_log_tracer = nullptr;
+    return;
+  }
+  g_log_tracer = tracer;
+  set_log_hook(&log_to_tracer, nullptr);
 }
 
 void Tracer::clear() {

@@ -51,12 +51,16 @@ inline constexpr int machine_track(int machine) noexcept {
   return kMachineTrackBase + machine;
 }
 
-// Up to four numeric key/value pairs attached to an event (enough for a
-// ResourceVector). Keys must be string literals; unset slots have null
-// keys.
+// Numeric key/value pairs attached to an event. Four constructor slots
+// cover the common cases; add() appends further pairs (up to kCapacity,
+// enough for a ResourceVector of busy fractions plus group bookkeeping —
+// what the analysis layer reads back without heuristics). Keys must be
+// string literals; unset slots have null keys.
 struct TraceArgs {
-  const char* key[4] = {nullptr, nullptr, nullptr, nullptr};
-  double value[4] = {0, 0, 0, 0};
+  static constexpr int kCapacity = 14;
+
+  const char* key[kCapacity] = {};
+  double value[kCapacity] = {};
 
   TraceArgs() = default;
   TraceArgs(const char* k1, double v1) {
@@ -79,6 +83,19 @@ struct TraceArgs {
       : TraceArgs(k1, v1, k2, v2, k3, v3) {
     key[3] = k4;
     value[3] = v4;
+  }
+
+  // Appends a pair into the first free slot; silently drops once full
+  // (tracing must never abort the host).
+  TraceArgs& add(const char* k, double v) {
+    for (int i = 0; i < kCapacity; ++i) {
+      if (key[i] == nullptr) {
+        key[i] = k;
+        value[i] = v;
+        break;
+      }
+    }
+    return *this;
   }
 };
 
@@ -148,9 +165,31 @@ class Tracer {
   void complete(std::int64_t ts_us, std::int64_t dur_us, const char* name,
                 const char* cat, int pid, int tid, TraceArgs args = {});
 
+  // Counter sample ('C' phase): Perfetto renders each args key as a
+  // stacked counter track under the pid. The utilization analytics emit
+  // per-machine busy fractions this way.
+  void counter(std::int64_t ts_us, const char* name, int pid,
+               TraceArgs args = {});
+
+  // Instant event carrying an owned text payload, exported as
+  // args.message — the log-routing path: MURI_LOG lines land on the
+  // timeline next to the spans they explain. Unlike name/cat, `message`
+  // is copied.
+  void instant_text(std::int64_t ts_us, const char* name, const char* cat,
+                    int pid, int tid, const std::string& message);
+
   ScopedSpan span(const char* name, const char* cat, int pid, int tid,
                   TraceArgs args = {}) {
     return ScopedSpan(this, name, cat, pid, tid, args);
+  }
+
+  // Hands out 1-based run epochs. Several simulator runs may share one
+  // tracer (the bench tables do); each run stamps its epoch on job-scoped
+  // events so the analysis layer can separate runs whose simulated-time
+  // windows and job ids overlap. Deterministic: a fresh tracer always
+  // starts at 1.
+  int begin_run_epoch() noexcept {
+    return run_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
 
   // Track labels, shown by Perfetto as process/thread names. Idempotent;
@@ -182,13 +221,14 @@ class Tracer {
   struct Event {
     const char* name;
     const char* cat;
-    char phase;  // 'X' complete, 'i' instant
+    char phase;  // 'X' complete, 'i' instant, 'C' counter
     int pid;
     int tid;
     std::int64_t ts_us;
     std::int64_t dur_us;
     std::uint64_t seq;
     TraceArgs args;
+    std::string detail;  // optional owned text, exported as args.message
   };
 
   struct Ring {
@@ -203,12 +243,13 @@ class Tracer {
 
   void record(char phase, std::int64_t ts_us, std::int64_t dur_us,
               const char* name, const char* cat, int pid, int tid,
-              const TraceArgs& args);
+              const TraceArgs& args, const std::string* detail = nullptr);
   Ring& local_ring();
 
   const std::size_t ring_capacity_;
   const std::uint64_t generation_;  // distinguishes tracers at reused addresses
   std::atomic<bool> enabled_{false};
+  std::atomic<int> run_epoch_{0};
   std::atomic<bool> manual_mode_{false};
   std::atomic<std::int64_t> manual_us_{0};
   std::chrono::steady_clock::time_point origin_;
@@ -218,5 +259,12 @@ class Tracer {
   std::map<int, std::string> track_names_;
   std::map<std::pair<int, int>, std::string> lane_names_;
 };
+
+// Routes MURI_LOG(kWarn)/(kError) messages into `tracer` as instant
+// "warn"/"error" events (cat "log", scheduler track) via the global hook
+// in common/logging. Pass nullptr to detach — required before the tracer
+// dies. Messages below kWarn are never forwarded. The hook is process-
+// wide; the last attach wins.
+void attach_log_tracer(Tracer* tracer);
 
 }  // namespace muri::obs

@@ -1,5 +1,6 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <cassert>
@@ -7,6 +8,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace muri::runtime {
@@ -68,6 +70,8 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
   threads.reserve(p);
 
   obs::Tracer* const tracer = options.tracer;
+  const double run_epoch =
+      tracer != nullptr ? static_cast<double>(tracer->begin_run_epoch()) : 0.0;
   if (tracer != nullptr) {
     tracer->name_track(obs::kExecutorTrack, "executor");
     for (size_t i = 0; i < p; ++i) {
@@ -76,6 +80,24 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
                                              : jobs[i].name);
     }
   }
+
+  // Live occupancy counters: each completed stage credits its nominal
+  // duration, so a /metrics poll mid-window sees progress, not a final
+  // dump. Handles are registry-owned and safe from the member threads.
+  std::array<obs::Counter*, kNumResources> busy_counters{};
+  if (options.metrics != nullptr) {
+    for (int r = 0; r < kNumResources; ++r) {
+      busy_counters[static_cast<size_t>(r)] = &options.metrics->counter(
+          "muri_resource_busy_seconds",
+          "Nominal busy wall-seconds per machine and resource",
+          {{"machine", "executor"}, {"resource", kResourceNames[r]}});
+    }
+  }
+  // Per-member nominal occupancy, merged after the join (no contention).
+  std::vector<std::array<double, kNumResources>> member_busy(
+      p, std::array<double, kNumResources>{});
+
+  const Clock::time_point t_begin = Clock::now();
 
   for (size_t i = 0; i < p; ++i) {
     threads.emplace_back([&, i] {
@@ -120,11 +142,19 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
                 slots[static_cast<size_t>((spec.offset + ph) % s)]);
             const Duration t = spec.profile[static_cast<size_t>(r)];
             if (t > 0) {
-              obs::ScopedSpan span(tracer, kResourceNames[r], "stage",
-                                   obs::kExecutorTrack, lane);
+              obs::ScopedSpan span(
+                  tracer, kResourceNames[r], "stage", obs::kExecutorTrack,
+                  lane,
+                  obs::TraceArgs("resource", r, "phase", ph, "run",
+                                 run_epoch));
               std::scoped_lock lock(
                   resources.tokens[static_cast<size_t>(r)]);
               work_for(t * options.time_scale);
+              const double busy = t * options.time_scale;
+              member_busy[i][static_cast<size_t>(r)] += busy;
+              if (busy_counters[static_cast<size_t>(r)] != nullptr) {
+                busy_counters[static_cast<size_t>(r)]->inc(busy);
+              }
             }
             {
               obs::ScopedSpan span(tracer, "barrier", "sync",
@@ -153,12 +183,19 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
             const Duration t = spec.profile[static_cast<size_t>(r)];
             if (t > 0) {
               // The span covers token wait + work: contention on the
-              // shared resource shows up as stretched stages.
-              obs::ScopedSpan span(tracer, kResourceNames[r], "stage",
-                                   obs::kExecutorTrack, lane);
+              // shared resource shows up as stretched stages. The busy
+              // credit is nominal work only — waiting occupies nothing.
+              obs::ScopedSpan span(
+                  tracer, kResourceNames[r], "stage", obs::kExecutorTrack,
+                  lane, obs::TraceArgs("resource", r, "run", run_epoch));
               std::scoped_lock lock(
                   resources.tokens[static_cast<size_t>(r)]);
               work_for(t * options.time_scale);
+              const double busy = t * options.time_scale;
+              member_busy[i][static_cast<size_t>(r)] += busy;
+              if (busy_counters[static_cast<size_t>(r)] != nullptr) {
+                busy_counters[static_cast<size_t>(r)]->inc(busy);
+              }
             }
           }
           ++out.iterations;
@@ -181,6 +218,42 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
   result.jobs = std::move(results);
   for (const ExecJobResult& j : result.jobs) {
     if (!j.completed) ++result.killed_jobs;
+  }
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - t_begin).count();
+  for (const auto& busy : member_busy) {
+    for (int r = 0; r < kNumResources; ++r) {
+      result.busy_seconds[static_cast<size_t>(r)] +=
+          busy[static_cast<size_t>(r)];
+    }
+  }
+  // Realized γ: mean busy fraction across the resources the group touches
+  // (interleave/group_efficiency averaging). Clamped per resource — timer
+  // slop can nudge nominal credit past the wall window.
+  int used = 0;
+  double fraction_sum = 0;
+  for (int r = 0; r < kNumResources; ++r) {
+    const double busy = result.busy_seconds[static_cast<size_t>(r)];
+    if (busy <= 0) continue;
+    ++used;
+    if (result.wall_seconds > 0) {
+      fraction_sum += std::min(busy / result.wall_seconds, 1.0);
+    }
+  }
+  if (used > 0) result.gamma_realized = fraction_sum / used;
+  if (options.metrics != nullptr && used > 0) {
+    options.metrics
+        ->summary("muri_group_gamma_realized",
+                  "Realized interleaving efficiency per group window",
+                  {{"machine", "executor"}})
+        .observe(result.gamma_realized);
+    if (options.gamma_predicted > 0) {
+      options.metrics
+          ->summary("muri_group_gamma_error",
+                    "Realized minus predicted interleaving efficiency",
+                    {{"machine", "executor"}})
+          .observe(result.gamma_realized - options.gamma_predicted);
+    }
   }
   return result;
 }

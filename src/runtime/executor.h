@@ -19,6 +19,7 @@
 // accurate where sleep() cannot.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "common/types.h"
 
 namespace muri::obs {
+class MetricsRegistry;
 class Tracer;
 }  // namespace muri::obs
 
@@ -58,8 +60,21 @@ struct ExecOptions {
   // Optional src/obs tracer (wall-clock domain). Each member thread
   // records its stage occupancy spans (named by resource, including token
   // wait in uncoordinated mode), barrier-wait spans, and kill instants on
-  // the executor track — one lane per member. Null skips everything.
+  // the executor track — one lane per member. Stage spans carry the
+  // resource index, phase, and a per-run_group epoch as args so the
+  // analysis layer (obs/analysis) needs no name parsing. Null skips
+  // everything.
   obs::Tracer* tracer = nullptr;
+  // Optional metrics sink. Nominal per-resource occupancy is accumulated
+  // into muri_resource_busy_seconds{machine="executor"} counters as stages
+  // complete (live-pollable via obs::HttpExporter), and the group's
+  // realized γ lands in the muri_group_gamma_realized summary at the end
+  // of the window. Null skips everything.
+  obs::MetricsRegistry* metrics = nullptr;
+  // Schedule-time γ prediction for this group (interleave/efficiency).
+  // When > 0 and metrics is set, realized − predicted is observed into
+  // muri_group_gamma_error.
+  double gamma_predicted = 0;
 };
 
 struct ExecJobResult {
@@ -79,6 +94,18 @@ struct ExecResult {
   std::vector<ExecJobResult> jobs;
   // Number of members killed by fault injection.
   int killed_jobs = 0;
+  // Nominal resource occupancy summed over members: each completed stage
+  // credits profile[r] * time_scale wall seconds to its resource (token
+  // wait excluded — waiting does not occupy the device).
+  std::array<double, kNumResources> busy_seconds{};
+  // Wall window actually covered (start of run_group to last thread out).
+  double wall_seconds = 0;
+  // Realized interleaving efficiency over the window: the mean of
+  // min(busy_r / wall, 1) across the resources the group touches — the
+  // same averaging as interleave/group_efficiency and the simulator's
+  // realized-γ accounting, so it is directly comparable with a
+  // schedule-time prediction.
+  double gamma_realized = 0;
 };
 
 // Runs the group for options.run_for wall seconds and reports per-job

@@ -32,6 +32,28 @@ struct GroupKey {
   bool operator==(const GroupKey& other) const = default;
 };
 
+// Utilization account for one group *incarnation*: an uninterrupted
+// placement of one member set under one configuration key. Busy seconds
+// accumulate as members progress (a job iterating with period T occupies
+// resource r for t^r seconds per iteration); the realized γ of the
+// incarnation is busy/active-window averaged over the resources the group
+// uses — the same averaging as interleave/group_efficiency, so it is
+// directly comparable to the schedule-time prediction.
+struct GroupAccount {
+  MachineId machine = kInvalidMachine;  // home machine (first of the set)
+  int size = 0;
+  GroupMode mode = GroupMode::kExclusive;
+  bool degraded = false;
+  double gamma_predicted = 0;
+  Time window_start = 0;
+  Time window_end = 0;
+  // Members share one restart gate; wall time before it is restart stall,
+  // excluded from the γ denominator (it is reported separately).
+  Time ready_at = 0;
+  std::array<double, kNumResources> busy{};
+  std::array<bool, kNumResources> active{};
+};
+
 struct JobState {
   const Job* job = nullptr;
   IterationProfile measured;
@@ -41,6 +63,8 @@ struct JobState {
   double done_iterations = 0;
   double attained_gpu_seconds = 0;
   Duration ran_wall = 0;  // wall seconds spent placed (for blocking index)
+  Duration restart_overhead = 0;  // placed-but-stalled (restart gate) wall
+  int preemptions = 0;    // placements lost to preemption or eviction
   Time ready_at = 0;      // progress gate after (re)start
   Duration period = 0;    // current wall seconds per iteration
   Time next_fault = 0;    // scheduled failure while running (kInf = none)
@@ -49,6 +73,10 @@ struct JobState {
   OwnerId owner = kNoOwner;       // GPU-set owner of the current group
   double straggler_factor = 1.0;  // period inflation from machine stragglers
   bool degraded = false;  // running in a group that lost a member mid-round
+  // Utilization account of the current incarnation (map storage keeps the
+  // pointer stable); -1 / nullptr when not running.
+  std::int64_t group_id = -1;
+  GroupAccount* acct = nullptr;
   // Tracing bookkeeping: the open run-stage span (kNoTime = none) and the
   // machine track it lives on.
   Time run_since = kNoTime;
@@ -111,6 +139,12 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       ResourceVector{1.0, 1.0, 1.0, 1.0});
   std::map<OwnerId, RunningGroup> running_groups;
 
+  // Group incarnations, in creation order (ids are 1-based and never
+  // reused; a group that survives a scheduling round unchanged keeps its
+  // incarnation, any configuration change retires it and opens a new one).
+  std::int64_t group_seq = 0;
+  std::map<std::int64_t, GroupAccount> group_accounts;
+
   // Arrival order.
   std::vector<size_t> arrival_order(n);
   for (size_t i = 0; i < n; ++i) arrival_order[i] = i;
@@ -152,6 +186,40 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   obs::Counter& c_degraded_seconds =
       registry.counter("muri_sim_degraded_group_seconds_total",
                        "Job-seconds run in a degraded group");
+  // Realized per-resource busy seconds, attributed to the home machine of
+  // the group that used them; live-scrapeable while the run advances. The
+  // SimResult totals come from a private accumulator, so a shared registry
+  // across runs never leaks seconds between results.
+  std::vector<std::array<obs::Counter*, kNumResources>> c_busy(
+      static_cast<size_t>(options.cluster.num_machines));
+  for (int m = 0; m < options.cluster.num_machines; ++m) {
+    for (int r = 0; r < kNumResources; ++r) {
+      c_busy[static_cast<size_t>(m)][static_cast<size_t>(r)] =
+          &registry.counter(
+              "muri_resource_busy_seconds",
+              "Realized busy seconds per home machine and resource",
+              {{"machine", std::to_string(m)},
+               {"resource",
+                std::string(to_string(static_cast<Resource>(r)))}});
+    }
+  }
+  std::array<double, kNumResources> busy_total{};
+  obs::Summary& s_gamma_realized = registry.summary(
+      "muri_group_gamma_realized",
+      "Realized interleaving efficiency per retired multi-member group");
+  obs::Summary& s_gamma_error = registry.summary(
+      "muri_group_gamma_error",
+      "Realized minus predicted gamma per retired multi-member group");
+  obs::Summary& s_job_queueing = registry.summary(
+      "muri_job_queueing_seconds", "Per-job wall seconds arrived but unplaced");
+  obs::Summary& s_job_running = registry.summary(
+      "muri_job_running_seconds", "Per-job wall seconds placed and progressing");
+  obs::Summary& s_job_restart_overhead = registry.summary(
+      "muri_job_restart_overhead_seconds",
+      "Per-job wall seconds placed but stalled in a restart gate");
+  obs::Summary& s_job_preemptions = registry.summary(
+      "muri_job_preemptions", "Per-job placements lost to preemption or eviction");
+
   const double base_faults = c_faults.value();
   const double base_restarts = c_restarts.value();
   const double base_machine_failures = c_machine_failures.value();
@@ -164,6 +232,11 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   // track (submits, rounds). All instrumentation below is read-only with
   // respect to simulation state.
   obs::Tracer* const tracer = options.tracer;
+  // Several runs may share one tracer (bench tables); the epoch separates
+  // their overlapping sim-time windows and reused job/group ids for the
+  // analysis layer.
+  const double run_epoch =
+      tracer != nullptr ? static_cast<double>(tracer->begin_run_epoch()) : 0.0;
   const auto to_us = [](Time t) {
     return static_cast<std::int64_t>(t * 1e6);
   };
@@ -188,12 +261,38 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   const auto end_run_span = [&](JobState& s) {
     if (tracer == nullptr || s.run_since == kNoTime) return;
     const int pid = obs::machine_track(s.run_machine >= 0 ? s.run_machine : 0);
-    tracer->complete(
-        to_us(s.run_since), to_us(now) - to_us(s.run_since), "run-stage",
-        "job", pid, static_cast<int>(s.job->id),
-        obs::TraceArgs("group_size", static_cast<double>(s.key.members.size()),
-                       "gamma", s.group_gamma, "period", s.period, "degraded",
-                       s.degraded ? 1.0 : 0.0));
+    // Span cycling keeps (period, straggler factor, machine) constant over
+    // each span, so one set of busy fractions describes its whole window:
+    // resource r was occupied busy_<r> × (dur − overhead) seconds.
+    // `overhead` is the restart-gate stall inside this span; `group` ties
+    // the span to its group incarnation, `gamma_pred` is the schedule-time
+    // γ the analysis layer compares realized utilization against.
+    const Duration span_wall = now - s.run_since;
+    const Duration span_overhead =
+        std::clamp(s.ready_at - s.run_since, 0.0, span_wall);
+    std::array<double, kNumResources> busy{};
+    if (s.period > 0 && std::isfinite(s.period)) {
+      for (int r = 0; r < kNumResources; ++r) {
+        busy[static_cast<size_t>(r)] =
+            s.job->profile.stage_time[static_cast<size_t>(r)] /
+            (s.period * s.straggler_factor);
+      }
+    }
+    obs::TraceArgs args("group_size",
+                        static_cast<double>(s.key.members.size()), "gamma",
+                        s.group_gamma, "period", s.period, "degraded",
+                        s.degraded ? 1.0 : 0.0);
+    args.add("run", run_epoch)
+        .add("group", static_cast<double>(s.group_id))
+        .add("gamma_pred", s.acct != nullptr ? s.acct->gamma_predicted : 0.0)
+        .add("overhead", span_overhead)
+        .add("busy_storage", busy[0])
+        .add("busy_cpu", busy[1])
+        .add("busy_gpu", busy[2])
+        .add("busy_net", busy[3]);
+    tracer->complete(to_us(s.run_since), to_us(now) - to_us(s.run_since),
+                     "run-stage", "job", pid, static_cast<int>(s.job->id),
+                     args);
     s.run_since = kNoTime;
     s.run_machine = kInvalidMachine;
   };
@@ -211,7 +310,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                                        : obs::kSchedulerTrack;
     tracer->instant_at(to_us(now), name, "job", pid,
                        static_cast<int>(s.job->id),
-                       obs::TraceArgs("job", static_cast<double>(s.job->id)));
+                       obs::TraceArgs("job", static_cast<double>(s.job->id),
+                                      "run", run_epoch));
   };
 
   // Metrics accumulators.
@@ -321,21 +421,73 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     }
   };
 
+  // Chrome counter track per machine: the per-resource busy fractions of
+  // the jobs attributed to it, sampled whenever the running set changes
+  // (counters hold their value between samples, so change points suffice).
+  auto emit_busy_counters = [&]() {
+    if (tracer == nullptr) return;
+    std::vector<std::array<double, kNumResources>> density(
+        static_cast<size_t>(options.cluster.num_machines));
+    for (const JobState& s : states) {
+      if (!s.running || s.finished || s.acct == nullptr) continue;
+      if (!(s.period > 0) || !std::isfinite(s.period)) continue;
+      size_t m = s.acct->machine >= 0 ? static_cast<size_t>(s.acct->machine)
+                                      : 0;
+      if (m >= density.size()) m = 0;
+      for (int r = 0; r < kNumResources; ++r) {
+        density[m][static_cast<size_t>(r)] +=
+            s.job->profile.stage_time[static_cast<size_t>(r)] /
+            (s.period * s.straggler_factor);
+      }
+    }
+    for (size_t m = 0; m < density.size(); ++m) {
+      tracer->counter(to_us(now), "busy",
+                      obs::machine_track(static_cast<int>(m)),
+                      obs::TraceArgs("storage", density[m][0], "cpu",
+                                     density[m][1], "gpu", density[m][2],
+                                     "network", density[m][3]));
+    }
+  };
+
   auto advance_to = [&](Time t) {
     assert(t >= now);
     if (t == now) return;
     for (JobState& s : states) {
       if (!s.running || s.finished) continue;
-      s.ran_wall += t - now;
+      const Duration dt = t - now;
+      s.ran_wall += dt;
       const Time start = std::max(now, s.ready_at);
-      if (t > start && s.period > 0) {
-        const Duration effective = t - start;
+      const Duration effective =
+          t > start && s.period > 0 ? t - start : 0.0;
+      s.restart_overhead += dt - effective;
+      if (effective > 0) {
         s.done_iterations += effective / (s.period * s.straggler_factor);
         s.attained_gpu_seconds +=
             effective * static_cast<double>(s.job->num_gpus);
         if (s.straggler_factor > 1.0) c_straggler_seconds.inc(effective);
         if (s.degraded) c_degraded_seconds.inc(effective);
+        // Realized busy attribution: progressing at 1/(period·straggler)
+        // iterations per second, the job occupies resource r for t^r
+        // seconds per iteration. Credited to the group account and to the
+        // home machine's busy counters.
+        if (s.acct != nullptr && std::isfinite(s.period)) {
+          const double iters = effective / (s.period * s.straggler_factor);
+          size_t m = s.acct->machine >= 0
+                         ? static_cast<size_t>(s.acct->machine)
+                         : 0;
+          if (m >= c_busy.size()) m = 0;
+          for (int r = 0; r < kNumResources; ++r) {
+            const auto ri = static_cast<size_t>(r);
+            const double db =
+                iters * s.job->profile.stage_time[ri];
+            if (db <= 0) continue;
+            s.acct->busy[ri] += db;
+            busy_total[ri] += db;
+            c_busy[m][ri]->inc(db);
+          }
+        }
       }
+      if (s.acct != nullptr) s.acct->window_end = t;
     }
     now = t;
     if (tracer != nullptr) tracer->set_manual_seconds(now);
@@ -377,9 +529,16 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     for (const auto& [owner, group] : running_groups) {
       for (JobId id : group.members) {
         JobState& s = states[static_cast<size_t>(id)];
-        if (s.running && !s.finished) {
-          s.straggler_factor = straggler_factor_for(*s.job, group.machines);
-        }
+        if (!s.running || s.finished) continue;
+        const double f = straggler_factor_for(*s.job, group.machines);
+        if (f == s.straggler_factor) continue;
+        // The factor scales the busy fractions stamped on the run-stage
+        // span, so a change cycles the span to keep them piecewise
+        // constant.
+        const MachineId m = s.run_machine;
+        end_run_span(s);
+        s.straggler_factor = f;
+        begin_run_span(s, m);
       }
     }
   };
@@ -405,13 +564,16 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     }
 
     std::vector<Duration> periods(p, 0.0);
+    double gamma_pred = 0;
     if (p == 1) {
       // A lone survivor runs exclusively.
       g.mode = GroupMode::kExclusive;
       periods[0] = profiles[0].iteration_time();
+      gamma_pred = group_efficiency(stages, periods[0]);
     } else if (g.mode == GroupMode::kInterleaved) {
       const InterleavePlan best = plan_interleave(stages);
       const double gamma_true = group_efficiency(stages, best.period);
+      gamma_pred = gamma_true;
       FluidOptions fluid;
       fluid.inflation =
           (1.0 + options.alpha * static_cast<double>(p - 1)) *
@@ -430,6 +592,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         states[static_cast<size_t>(g.members[i])].group_gamma = gamma_true;
       }
     } else {
+      // Best-case rotation γ as the prediction: the gap to realized shows
+      // what uncoordinated sharing leaves on the table.
+      gamma_pred = group_efficiency(stages, plan_interleave(stages).period);
       FluidOptions fluid;
       fluid.inflation = 1.0 + options.beta;
       fluid.contention_penalty = options.contention_penalty;
@@ -446,6 +611,32 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     std::sort(key.members.begin(), key.members.end());
     key.mode = g.mode;
     key.num_gpus = g.num_gpus;
+
+    // The degraded continuation is a fresh incarnation: same GPU set, new
+    // configuration. Survivors keep their old restart gate (they continue
+    // without paying a new penalty).
+    const MachineId home =
+        g.machines.empty() ? kInvalidMachine : g.machines.front();
+    const std::int64_t gid = ++group_seq;
+    GroupAccount acct;
+    acct.machine = home;
+    acct.size = static_cast<int>(p);
+    acct.mode = g.mode;
+    acct.degraded = true;
+    acct.gamma_predicted = gamma_pred;
+    acct.window_start = now;
+    acct.window_end = now;
+    for (size_t i = 0; i < p; ++i) {
+      const JobState& s = states[static_cast<size_t>(g.members[i])];
+      acct.ready_at = std::max(acct.ready_at, s.ready_at);
+      for (int r = 0; r < kNumResources; ++r) {
+        const auto ri = static_cast<size_t>(r);
+        if (s.job->profile.stage_time[ri] > 0) acct.active[ri] = true;
+      }
+    }
+    GroupAccount* const acct_ptr =
+        &group_accounts.emplace(gid, acct).first->second;
+
     for (size_t i = 0; i < p; ++i) {
       JobState& s = states[static_cast<size_t>(g.members[i])];
       // A survivor's configuration changed: close its run-stage span and
@@ -454,8 +645,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       s.period = periods[i];
       s.key = key;
       s.degraded = true;
-      begin_run_span(s, g.machines.empty() ? kInvalidMachine
-                                           : g.machines.front());
+      s.group_id = gid;
+      s.acct = acct_ptr;
+      begin_run_span(s, home);
     }
   };
 
@@ -534,6 +726,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       }
 
       std::vector<Duration> periods(p, 0.0);
+      double gamma_pred = 0;
       if (group->mode == GroupMode::kInterleaved && p > 1) {
         // Validate the scheduler's rotation schedule; fall back to a fresh
         // best-order plan if it is unusable against the true profiles.
@@ -575,6 +768,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
 
         // Schedule quality: groups with poor best-case γ pipeline badly.
         const double gamma_true = group_efficiency(true_stages, best.period);
+        gamma_pred = gamma_true;
         for (JobId id : group->members) {
           states[static_cast<size_t>(id)].group_gamma = gamma_true;
         }
@@ -598,6 +792,10 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                            : kInf;
         }
       } else if (group->mode == GroupMode::kUncoordinated && p > 1) {
+        // Best-case rotation γ as the prediction: the realized gap shows
+        // what uncoordinated sharing leaves on the table (§2.1).
+        gamma_pred =
+            group_efficiency(true_stages, plan_interleave(true_stages).period);
         FluidOptions fluid;
         fluid.inflation = 1.0 + options.beta;
         fluid.contention_penalty = options.contention_penalty;
@@ -610,19 +808,61 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                            : kInf;
         }
       } else {
+        Duration solo_sum = 0;
         for (size_t i = 0; i < p; ++i) {
           periods[i] = true_profiles[i].iteration_time();
+          solo_sum += periods[i];
         }
+        // Solo (or sequential-share) non-idle fraction over the used
+        // resources — 1/k' for a single k'-resource job.
+        gamma_pred = group_efficiency(true_stages, solo_sum);
       }
 
       const std::vector<MachineId>& machines = running_groups.at(owner).machines;
       const MachineId home =
           machines.empty() ? kInvalidMachine : machines.front();
+
+      // An unchanged group (same members, mode, GPUs, every member still
+      // running under the same key) keeps its incarnation; anything else
+      // retires the old accounts and opens a new one.
+      bool group_unchanged = true;
+      for (JobId id : group->members) {
+        const JobState& s = states[static_cast<size_t>(id)];
+        group_unchanged = group_unchanged && s.running && s.key == key;
+      }
+      std::int64_t gid;
+      GroupAccount* acct_ptr;
+      if (group_unchanged) {
+        const JobState& first = states[static_cast<size_t>(group->members[0])];
+        gid = first.group_id;
+        acct_ptr = first.acct;
+        // Attribution follows the placement if the unchanged group moved.
+        if (acct_ptr != nullptr) acct_ptr->machine = home;
+      } else {
+        gid = ++group_seq;
+        GroupAccount acct;
+        acct.machine = home;
+        acct.size = static_cast<int>(p);
+        acct.mode = group->mode;
+        acct.gamma_predicted = gamma_pred;
+        acct.window_start = now;
+        acct.window_end = now;
+        acct.ready_at = now + options.restart_penalty;
+        for (JobId id : group->members) {
+          const JobState& s = states[static_cast<size_t>(id)];
+          for (int r = 0; r < kNumResources; ++r) {
+            const auto ri = static_cast<size_t>(r);
+            if (s.job->profile.stage_time[ri] > 0) acct.active[ri] = true;
+          }
+        }
+        acct_ptr = &group_accounts.emplace(gid, acct).first->second;
+      }
+
       for (size_t i = 0; i < p; ++i) {
         const JobId id = group->members[i];
         JobState& s = states[static_cast<size_t>(id)];
         const bool unchanged = s.running && s.key == key;
-        s.period = periods[i];
+        const double strag = straggler_factor_for(*s.job, machines);
         if (!unchanged) {
           if (s.running) {
             c_restarts.inc();
@@ -636,21 +876,24 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                   ? now + job_fault_rng[static_cast<size_t>(id)].exponential(
                               fault_rate)
                   : kInf;
-        }
-        s.owner = owner;
-        s.straggler_factor = straggler_factor_for(*s.job, machines);
-        s.degraded = false;
-        const bool was_running = s.running;
-        s.running = true;
-        // A fresh or reconfigured placement opens a new run-stage span; a
-        // placement that merely moved machines cycles the span so each
-        // span stays on one machine track.
-        if (!was_running || s.run_since == kNoTime) {
-          begin_run_span(s, home);
-        } else if (s.run_machine != home) {
+        } else if (s.run_since != kNoTime &&
+                   (s.period != periods[i] || s.straggler_factor != strag ||
+                    s.run_machine != home || s.degraded)) {
+          // Same configuration key but drifted execution parameters
+          // (recomputed period, straggler factor, machine move, or a
+          // degraded continuation re-admitted): cycle the run-stage span
+          // so the busy fractions stamped on it stay constant over its
+          // window.
           end_run_span(s);
-          begin_run_span(s, home);
         }
+        s.period = periods[i];
+        s.owner = owner;
+        s.straggler_factor = strag;
+        s.degraded = false;
+        s.group_id = gid;
+        s.acct = acct_ptr;
+        s.running = true;
+        if (s.run_since == kNoTime) begin_run_span(s, home);
         newly_running.insert(id);
       }
     }
@@ -666,9 +909,13 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         s.owner = kNoOwner;
         s.straggler_factor = 1.0;
         s.degraded = false;
+        s.group_id = -1;
+        s.acct = nullptr;
+        ++s.preemptions;
       }
     }
     recompute_utilization();
+    emit_busy_counters();
   };
 
   // Main event loop.
@@ -769,6 +1016,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                   s.next_fault = kInf;
                   s.straggler_factor = 1.0;
                   s.degraded = false;
+                  s.group_id = -1;
+                  s.acct = nullptr;
+                  ++s.preemptions;
                   c_evictions.inc();
                 }
               }
@@ -846,6 +1096,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           s.next_fault = kInf;
           s.straggler_factor = 1.0;
           s.degraded = false;
+          s.group_id = -1;
+          s.acct = nullptr;
           c_faults.inc();
           dirty = true;
           if (owner != kNoOwner) {
@@ -876,6 +1128,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         s.finished = true;
         s.running = false;
         s.period = 0;
+        s.group_id = -1;
+        s.acct = nullptr;
         // Leave the group registry so a later machine crash or partner
         // fault no longer involves this job.
         if (s.owner != kNoOwner) {
@@ -891,10 +1145,26 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         }
         ++finished_count;
         result.jcts.push_back(now - s.job->submit_time);
+        JctBreakdown breakdown;
+        breakdown.job = s.job->id;
+        breakdown.jct_seconds = now - s.job->submit_time;
+        breakdown.restart_overhead_seconds = s.restart_overhead;
+        breakdown.running_seconds = s.ran_wall - s.restart_overhead;
+        breakdown.queueing_seconds =
+            std::max(breakdown.jct_seconds - s.ran_wall, 0.0);
+        breakdown.preemptions = s.preemptions;
+        s_job_queueing.observe(breakdown.queueing_seconds);
+        s_job_running.observe(breakdown.running_seconds);
+        s_job_restart_overhead.observe(breakdown.restart_overhead_seconds);
+        s_job_preemptions.observe(static_cast<double>(breakdown.preemptions));
+        result.jct_breakdown.push_back(breakdown);
         dirty = true;
       }
     }
-    if (dirty) recompute_utilization();
+    if (dirty) {
+      recompute_utilization();
+      emit_busy_counters();
+    }
 
     // Scheduling round.
     if (dirty && now >= last_round + options.schedule_interval - 1e-9) {
@@ -1022,7 +1292,44 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   result.avg_running_jobs = running_avg.finalize(now);
   result.avg_group_width = width_avg.finalize(now);
   result.avg_normalized_rate = rate_avg.finalize(now);
-  result.avg_group_gamma = gamma_avg.finalize(now);
+  result.avg_group_gamma_predicted = gamma_avg.finalize(now);
+
+  // Realized γ per retired multi-member incarnation: busy seconds over the
+  // active window (wall minus the shared restart stall), averaged over the
+  // resources the group uses — then window-weighted across incarnations,
+  // mirroring the time-weighted predicted average above.
+  result.resource_busy_seconds = busy_total;
+  {
+    double weight = 0, realized_sum = 0, error_sum = 0;
+    for (const auto& [gid, acct] : group_accounts) {
+      if (acct.size < 2) continue;
+      const double wall = acct.window_end - acct.window_start;
+      const double stall =
+          std::clamp(acct.ready_at - acct.window_start, 0.0, wall);
+      const double active_window = wall - stall;
+      if (active_window <= 0) continue;
+      int used = 0;
+      double fraction_sum = 0;
+      for (int r = 0; r < kNumResources; ++r) {
+        const auto ri = static_cast<size_t>(r);
+        if (!acct.active[ri]) continue;
+        ++used;
+        fraction_sum += std::min(acct.busy[ri] / active_window, 1.0);
+      }
+      if (used == 0) continue;
+      const double realized = fraction_sum / used;
+      s_gamma_realized.observe(realized);
+      s_gamma_error.observe(realized - acct.gamma_predicted);
+      realized_sum += realized * active_window;
+      error_sum += (realized - acct.gamma_predicted) * active_window;
+      weight += active_window;
+    }
+    if (weight > 0) {
+      result.avg_group_gamma_realized = realized_sum / weight;
+      result.avg_group_gamma_error = error_sum / weight;
+    }
+  }
+
   result.profiler_sessions = profiler.sessions();
   result.profiling_time = profiler.profiling_time();
   return result;

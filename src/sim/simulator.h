@@ -115,6 +115,21 @@ struct SimOptions {
   obs::MetricsRegistry* metrics = nullptr;
 };
 
+// Per-job completion-time decomposition (the "JCT breakdown" of the
+// utilization analytics): JCT = queueing + running + restart overhead.
+// Queueing is time arrived-but-unplaced, running is placed-and-progressing,
+// restart overhead is placed-but-stalled inside a restart penalty window.
+struct JctBreakdown {
+  JobId job = kInvalidJob;
+  double jct_seconds = 0;
+  double queueing_seconds = 0;
+  double running_seconds = 0;
+  double restart_overhead_seconds = 0;
+  // Times the job lost a placement it had (preempt + machine eviction);
+  // job-level faults are counted separately in SimResult::faults.
+  int preemptions = 0;
+};
+
 struct SimResult {
   std::string scheduler_name;
   std::string trace_name;
@@ -144,7 +159,31 @@ struct SimResult {
   double avg_running_jobs = 0;
   double avg_group_width = 0;   // members per running group
   double avg_normalized_rate = 0;  // x = solo_iter_time / period
-  double avg_group_gamma = 0;  // best-case γ of running multi-job groups
+
+  // Interleaving-efficiency accounting. "Predicted" is the schedule-time γ
+  // of Eq. 4 (best-case rotation efficiency, time-weighted over running
+  // multi-job groups; previously named `avg_group_gamma`). "Realized" is
+  // reconstructed from execution: per group incarnation, busy seconds per
+  // resource divided by the group's wall window, averaged over the
+  // resources the group actually uses — the same averaging as
+  // interleave/group_efficiency — then weighted by window length across
+  // retired multi-member groups. The fluid execution model is
+  // work-conserving, so on noise-free timings realized γ matches predicted
+  // γ to within a few percent (it can exceed it: the rotation schedule
+  // quantizes to stage boundaries, the fluid model does not).
+  double avg_group_gamma_predicted = 0;
+  double avg_group_gamma_realized = 0;
+  // Window-weighted mean of (realized − predicted) over retired groups.
+  double avg_group_gamma_error = 0;
+  [[deprecated("renamed to avg_group_gamma_predicted")]]
+  double avg_group_gamma() const { return avg_group_gamma_predicted; }
+
+  // Realized busy seconds per resource summed over machines (the totals
+  // behind the `muri_resource_busy_seconds` counters).
+  std::array<double, kNumResources> resource_busy_seconds{};
+
+  // Per finished job, in completion order (aligned with `jcts`).
+  std::vector<JctBreakdown> jct_breakdown;
 
   // Fault injection accounting.
   std::int64_t faults = 0;

@@ -1,0 +1,143 @@
+// Loopback tests for the /metrics HTTP exporter: a real client socket
+// against the real server thread — Prometheus text at /metrics, JSON at
+// /metrics.json, 404/405 handling, ephemeral-port binding, and graceful
+// stop/restart.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "obs/http_exporter.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace muri {
+namespace {
+
+using obs::HttpExporter;
+using obs::MetricsRegistry;
+
+// Minimal blocking HTTP client: one request, reads to EOF (the server
+// closes after each response).
+std::string http_request(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    ::close(fd);
+    return {};
+  }
+  ::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_get(int port, const std::string& path) {
+  return http_request(port, "GET " + path +
+                                " HTTP/1.1\r\nHost: localhost\r\n"
+                                "Connection: close\r\n\r\n");
+}
+
+std::string body_of(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string()
+                                    : response.substr(split + 4);
+}
+
+TEST(HttpExporter, ServesPrometheusTextOnMetrics) {
+  MetricsRegistry registry;
+  registry
+      .counter("muri_resource_busy_seconds", "busy seconds",
+               {{"machine", "executor"}, {"resource", "gpu"}})
+      .inc(1.5);
+  HttpExporter exporter(registry);
+  std::string error;
+  ASSERT_TRUE(exporter.start(0, &error)) << error;  // ephemeral port
+  ASSERT_GT(exporter.port(), 0);
+
+  const std::string response = http_get(exporter.port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  const std::string body = body_of(response);
+  EXPECT_NE(body.find("# TYPE muri_resource_busy_seconds counter"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("muri_resource_busy_seconds{machine=\"executor\","
+                "resource=\"gpu\"} 1.5"),
+      std::string::npos);
+  // The live endpoint serves current values: bump and re-poll.
+  registry
+      .counter("muri_resource_busy_seconds", "",
+               {{"machine", "executor"}, {"resource", "gpu"}})
+      .inc(0.5);
+  EXPECT_NE(body_of(http_get(exporter.port(), "/metrics"))
+                .find("resource=\"gpu\"} 2"),
+            std::string::npos);
+  exporter.stop();
+  EXPECT_FALSE(exporter.running());
+}
+
+TEST(HttpExporter, ServesJsonSnapshot) {
+  MetricsRegistry registry;
+  registry.gauge("queue_len", "").set(7);
+  HttpExporter exporter(registry);
+  ASSERT_TRUE(exporter.start(0, nullptr));
+
+  const std::string response = http_get(exporter.port(), "/metrics.json");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(body_of(response), root, &err)) << err;
+  EXPECT_DOUBLE_EQ(root.at("queue_len").number, 7);
+  exporter.stop();
+}
+
+TEST(HttpExporter, RejectsUnknownPathsAndMethods) {
+  MetricsRegistry registry;
+  HttpExporter exporter(registry);
+  ASSERT_TRUE(exporter.start(0, nullptr));
+  EXPECT_NE(http_get(exporter.port(), "/nope").find("404 Not Found"),
+            std::string::npos);
+  EXPECT_NE(http_request(exporter.port(),
+                         "POST /metrics HTTP/1.1\r\n\r\n")
+                .find("405 Method Not Allowed"),
+            std::string::npos);
+  exporter.stop();
+}
+
+TEST(HttpExporter, StopIsIdempotentAndRestartable) {
+  MetricsRegistry registry;
+  HttpExporter exporter(registry);
+  std::string error;
+  ASSERT_TRUE(exporter.start(0, &error)) << error;
+  EXPECT_TRUE(exporter.running());
+  // Double-start is refused while running.
+  EXPECT_FALSE(exporter.start(0, &error));
+  exporter.stop();
+  exporter.stop();  // no-op
+  EXPECT_FALSE(exporter.running());
+  // Restart binds a fresh socket.
+  ASSERT_TRUE(exporter.start(0, &error)) << error;
+  EXPECT_NE(http_get(exporter.port(), "/metrics")
+                .find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  exporter.stop();
+}
+
+}  // namespace
+}  // namespace muri

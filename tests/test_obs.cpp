@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/threadpool.h"
 #include "job/model.h"
 #include "obs/json.h"
@@ -513,6 +514,131 @@ TEST(MuriMetrics, RegistryReproducesGroupingStatsExactly) {
     }
   }
   EXPECT_TRUE(saw_round_span);
+}
+
+// ---------------------------------------------------------------------------
+// JSON reader: error paths
+
+TEST(Json, RejectsTruncatedInput) {
+  // Every prefix of a valid document must fail cleanly, not crash or
+  // accept.
+  const std::string full =
+      "{\"a\": [1, 2.5, \"x\"], \"b\": {\"c\": true, \"d\": null}}";
+  JsonValue root;
+  ASSERT_TRUE(obs::parse_json(full, root));
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(obs::parse_json(full.substr(0, len), v, &err))
+        << "prefix of length " << len << " parsed";
+    EXPECT_FALSE(err.empty());
+  }
+}
+
+TEST(Json, RejectsBadEscapesAndTrailingGarbage) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(obs::parse_json("\"\\q\"", v, &err));  // unknown escape
+  EXPECT_FALSE(obs::parse_json("\"\\u12\"", v));      // short \u escape
+  EXPECT_FALSE(obs::parse_json("\"\\u12zz\"", v));    // non-hex \u escape
+  EXPECT_FALSE(obs::parse_json("\"unterminated", v));
+  EXPECT_FALSE(obs::parse_json("{\"a\": 1} trailing", v, &err));
+  EXPECT_FALSE(obs::parse_json("[1, ]", v));
+  EXPECT_FALSE(obs::parse_json("{\"a\" 1}", v));
+  EXPECT_FALSE(obs::parse_json("nul", v));
+  // The accepted escapes round-trip.
+  ASSERT_TRUE(obs::parse_json("\"a\\\"b\\\\c\\n\\t\\u0041\"", v));
+  EXPECT_EQ(v.string, "a\"b\\c\n\tA");
+}
+
+TEST(Json, DeepNestingFailsGracefully) {
+  // Past the parser's depth cap the parse must return false instead of
+  // overflowing the stack.
+  const int depth = 300;
+  std::string deep;
+  for (int i = 0; i < depth; ++i) deep += '[';
+  for (int i = 0; i < depth; ++i) deep += ']';
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(obs::parse_json(deep, v, &err));
+  EXPECT_FALSE(err.empty());
+  // A sane depth still parses.
+  std::string ok;
+  for (int i = 0; i < 64; ++i) ok += '[';
+  for (int i = 0; i < 64; ++i) ok += ']';
+  EXPECT_TRUE(obs::parse_json(ok, v));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer: args builder, counter events, log routing
+
+TEST(Trace, TraceArgsAddAppendsAndDropsWhenFull) {
+  obs::TraceArgs args("a", 1);
+  args.add("b", 2).add("c", 3);
+  EXPECT_STREQ(args.key[0], "a");
+  EXPECT_STREQ(args.key[1], "b");
+  EXPECT_STREQ(args.key[2], "c");
+  EXPECT_EQ(args.value[2], 3);
+  for (int i = 0; i < obs::TraceArgs::kCapacity + 4; ++i) {
+    args.add("x", static_cast<double>(i));
+  }
+  // Full args silently drop; the last slot holds the first overflow fill.
+  EXPECT_STREQ(args.key[obs::TraceArgs::kCapacity - 1], "x");
+}
+
+TEST(Trace, CounterEventsExportWithPhaseC) {
+  Tracer t;
+  t.set_enabled(true);
+  t.counter(100, "busy", obs::machine_track(0),
+            obs::TraceArgs("gpu", 0.5, "cpu", 0.25));
+  JsonValue root;
+  ASSERT_TRUE(obs::parse_json(t.chrome_trace_json(), root));
+  bool saw = false;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("ph").string != "C") continue;
+    saw = true;
+    EXPECT_EQ(e.at("name").string, "busy");
+    EXPECT_EQ(static_cast<int>(e.at("pid").number), obs::machine_track(0));
+    EXPECT_DOUBLE_EQ(e.at("args").at("gpu").number, 0.5);
+    EXPECT_DOUBLE_EQ(e.at("args").at("cpu").number, 0.25);
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(Trace, AttachedLogTracerMirrorsWarningsOnly) {
+  Tracer t;
+  t.set_enabled(true);
+  obs::attach_log_tracer(&t);
+  MURI_LOG(kWarn) << "watch out";
+  MURI_LOG(kError) << "it broke";
+  MURI_LOG(kInfo) << "below the hook threshold";  // level-filtered anyway
+  obs::attach_log_tracer(nullptr);
+  MURI_LOG(kWarn) << "after detach";
+
+  JsonValue root;
+  ASSERT_TRUE(obs::parse_json(t.chrome_trace_json(), root));
+  int warns = 0, errors = 0;
+  for (const JsonValue& e : root.at("traceEvents").array) {
+    if (e.at("cat").string != "log") continue;
+    const std::string& msg = e.at("args").at("message").string;
+    if (e.at("name").string == "warn") {
+      ++warns;
+      EXPECT_EQ(msg, "watch out");
+    } else if (e.at("name").string == "error") {
+      ++errors;
+      EXPECT_EQ(msg, "it broke");
+    }
+  }
+  EXPECT_EQ(warns, 1);
+  EXPECT_EQ(errors, 1);
+}
+
+TEST(Trace, RunEpochsAreSequentialPerTracer) {
+  Tracer a;
+  EXPECT_EQ(a.begin_run_epoch(), 1);
+  EXPECT_EQ(a.begin_run_epoch(), 2);
+  Tracer b;
+  EXPECT_EQ(b.begin_run_epoch(), 1);
 }
 
 }  // namespace

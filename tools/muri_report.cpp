@@ -1,0 +1,174 @@
+// muri-report — utilization analytics over exported Chrome traces.
+//
+// Ingests one or more --trace-out files (from the simulator benches, the
+// live executor, or examples/live_interleave) and prints per-resource
+// busy/idle utilization tables, realized-vs-predicted γ per group, and
+// per-job JCT breakdowns. See src/obs/analysis.h for the semantics.
+//
+//   muri-report trace.json                        # text tables
+//   muri-report --format=csv a.json b.json        # one section per table
+//   muri-report --format=json --out=report.json trace.json
+//
+// Exit status: 0 on success, 1 on usage/IO/parse errors, 2 when a trace
+// parses but contains nothing to report (empty tables) — so CI can fail a
+// run whose instrumentation silently vanished.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/analysis.h"
+#include "obs/json.h"
+
+namespace {
+
+enum class Format { kText, kCsv, kJson };
+
+struct Options {
+  Format format = Format::kText;
+  std::string out_path;
+  std::vector<std::string> traces;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: muri-report [--format=text|csv|json] [--out=FILE] "
+        "TRACE.json [TRACE.json ...]\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string_view value = arg.substr(9);
+      if (value == "text") {
+        opts.format = Format::kText;
+      } else if (value == "csv") {
+        opts.format = Format::kCsv;
+      } else if (value == "json") {
+        opts.format = Format::kJson;
+      } else {
+        std::cerr << "muri-report: unknown format '" << value << "'\n";
+        return false;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      opts.out_path = std::string(arg.substr(6));
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "muri-report: unknown flag '" << arg << "'\n";
+      return false;
+    } else {
+      opts.traces.emplace_back(arg);
+    }
+  }
+  if (opts.traces.empty()) {
+    usage(std::cerr);
+    return false;
+  }
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, opts)) return 1;
+
+  std::string output;
+  bool any_content = false;
+  bool first = true;
+
+  if (opts.format == Format::kJson) output += "{\"traces\":[";
+
+  for (const std::string& path : opts.traces) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::cerr << "muri-report: cannot read " << path << '\n';
+      return 1;
+    }
+    muri::obs::JsonValue root;
+    std::string error;
+    if (!muri::obs::parse_json(text, root, &error)) {
+      std::cerr << "muri-report: " << path << ": parse error: " << error
+                << '\n';
+      return 1;
+    }
+    muri::obs::UtilizationReport report;
+    if (!muri::obs::analyze_trace(root, report, &error)) {
+      std::cerr << "muri-report: " << path << ": " << error << '\n';
+      return 1;
+    }
+    any_content = any_content || !report.empty();
+
+    switch (opts.format) {
+      case Format::kText:
+        if (!first) output += '\n';
+        output += "== " + path + " ==\n";
+        output += muri::obs::report_text(report);
+        break;
+      case Format::kCsv:
+        // Sections already carry their own headers; a file marker line
+        // keeps multi-trace output splittable.
+        if (!first) output += '\n';
+        output += "file," + path + "\n";
+        output += muri::obs::report_csv(report);
+        break;
+      case Format::kJson:
+        if (!first) output += ',';
+        output += "{\"file\":\"" + json_escape(path) + "\",\"report\":";
+        output += muri::obs::report_json(report);
+        output += '}';
+        break;
+    }
+    first = false;
+  }
+
+  if (opts.format == Format::kJson) output += "]}\n";
+
+  if (!opts.out_path.empty()) {
+    std::ofstream out(opts.out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "muri-report: cannot write " << opts.out_path << '\n';
+      return 1;
+    }
+    out << output;
+  } else {
+    std::cout << output;
+  }
+
+  if (!any_content) {
+    std::cerr << "muri-report: no spans, groups, or jobs found in "
+              << (opts.traces.size() == 1 ? "the trace" : "any trace")
+              << " (empty report)\n";
+    return 2;
+  }
+  return 0;
+}
