@@ -19,8 +19,10 @@ struct ObsState {
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics;
   std::unique_ptr<obs::HttpExporter> exporter;
+  std::unique_ptr<obs::DecisionLog> decisions;
   std::string trace_path;
   std::string metrics_path;
+  std::string decisions_path;
 };
 
 ObsState& obs_state() {
@@ -54,6 +56,16 @@ void flush_obs() {
                    state.metrics_path.c_str());
     }
   }
+  if (state.decisions != nullptr && !state.decisions_path.empty()) {
+    if (state.decisions->write_jsonl(state.decisions_path)) {
+      std::fprintf(stderr, "wrote decision log to %s (%lld records)\n",
+                   state.decisions_path.c_str(),
+                   static_cast<long long>(state.decisions->records()));
+    } else {
+      std::fprintf(stderr, "failed to write decision log to %s\n",
+                   state.decisions_path.c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -77,6 +89,7 @@ void init_obs(int argc, const char* const* argv) {
 
   state.trace_path = flags.get("trace-out");
   state.metrics_path = flags.get("metrics-out");
+  state.decisions_path = flags.get("decisions-out");
   const bool serve_metrics = flags.has("metrics-port");
   if (!state.trace_path.empty()) {
     state.tracer = std::make_unique<obs::Tracer>();
@@ -87,6 +100,9 @@ void init_obs(int argc, const char* const* argv) {
   }
   if (!state.metrics_path.empty() || serve_metrics) {
     state.metrics = std::make_unique<obs::MetricsRegistry>();
+  }
+  if (!state.decisions_path.empty()) {
+    state.decisions = std::make_unique<obs::DecisionLog>();
   }
   if (serve_metrics) {
     state.exporter = std::make_unique<obs::HttpExporter>(*state.metrics);
@@ -101,7 +117,8 @@ void init_obs(int argc, const char* const* argv) {
       state.exporter.reset();
     }
   }
-  if (state.tracer != nullptr || state.metrics != nullptr) {
+  if (state.tracer != nullptr || state.metrics != nullptr ||
+      state.decisions != nullptr) {
     std::atexit(flush_obs);
   }
 }
@@ -110,6 +127,8 @@ obs::Tracer* obs_tracer() { return obs_state().tracer.get(); }
 
 obs::MetricsRegistry* obs_metrics() { return obs_state().metrics.get(); }
 
+obs::DecisionLog* obs_decisions() { return obs_state().decisions.get(); }
+
 SimOptions default_sim_options(bool durations_known) {
   SimOptions opt;
   opt.cluster.num_machines = 8;
@@ -117,16 +136,26 @@ SimOptions default_sim_options(bool durations_known) {
   opt.durations_known = durations_known;
   opt.tracer = obs_tracer();
   opt.metrics = obs_metrics();
+  opt.decisions = obs_decisions();
   return opt;
 }
 
+namespace {
+// Attaches the process-wide decision log (when installed) so every
+// scheduler logs provenance even when driven outside run_simulation.
+std::unique_ptr<Scheduler> with_obs(std::unique_ptr<Scheduler> s) {
+  s->set_decision_log(obs_decisions());
+  return s;
+}
+}  // namespace
+
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
-  if (name == "FIFO") return std::make_unique<FifoScheduler>();
-  if (name == "SRTF") return std::make_unique<SrtfScheduler>();
-  if (name == "SRSF") return std::make_unique<SrsfScheduler>();
-  if (name == "Tiresias") return std::make_unique<TiresiasScheduler>();
-  if (name == "Themis") return std::make_unique<ThemisScheduler>();
-  if (name == "AntMan") return std::make_unique<AntManScheduler>();
+  if (name == "FIFO") return with_obs(std::make_unique<FifoScheduler>());
+  if (name == "SRTF") return with_obs(std::make_unique<SrtfScheduler>());
+  if (name == "SRSF") return with_obs(std::make_unique<SrsfScheduler>());
+  if (name == "Tiresias") return with_obs(std::make_unique<TiresiasScheduler>());
+  if (name == "Themis") return with_obs(std::make_unique<ThemisScheduler>());
+  if (name == "AntMan") return with_obs(std::make_unique<AntManScheduler>());
 
   if (name.rfind("Muri", 0) == 0) {
     MuriOptions opt;
@@ -142,6 +171,7 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
     if (name.find("-nobucket") != std::string::npos) opt.bucket_by_gpu = false;
     opt.trace = obs_tracer();
     opt.metrics = obs_metrics();
+    opt.decisions = obs_decisions();
     return std::make_unique<MuriScheduler>(opt);
   }
   throw std::invalid_argument("unknown scheduler: " + name);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "scheduler/baselines.h"
 #include "scheduler/muri.h"
@@ -22,8 +23,10 @@ namespace muri::bench {
 // Shared observability plumbing: call once at the top of main(). Parses
 // the common flags
 //
-//   --trace-out=<path>    dump a Chrome trace_event JSON of every run
-//   --metrics-out=<path>  dump a Prometheus text metrics snapshot
+//   --trace-out=<path>     dump a Chrome trace_event JSON of every run
+//   --metrics-out=<path>   dump a Prometheus text metrics snapshot
+//   --decisions-out=<path> dump the decision-provenance JSONL (one record
+//                          per scheduling choice; see obs/provenance.h)
 //   --metrics-port=<p>    serve live Prometheus text at
 //                         http://127.0.0.1:<p>/metrics (and JSON at
 //                         /metrics.json) for the life of the process;
@@ -32,8 +35,8 @@ namespace muri::bench {
 //   --log-level=<l>       debug|info|warn|error|off (default warn)
 //
 // and, when any sink flag is given, installs a process-wide tracer /
-// metrics registry that default_sim_options() and make_scheduler() attach
-// to every simulation and Muri scheduler automatically — so each bench
+// metrics registry / decision log that default_sim_options() and
+// make_scheduler() attach to every simulation and scheduler automatically — so each bench
 // binary gets schedule dumps without per-binary plumbing. With a tracer
 // installed, MURI_LOG warnings/errors are mirrored onto the trace
 // timeline. Files are written at normal process exit. With no flags,
@@ -44,6 +47,7 @@ void init_obs(int argc, const char* const* argv);
 // so a bench that drives the live executor can pass the tracer along.
 obs::Tracer* obs_tracer();
 obs::MetricsRegistry* obs_metrics();
+obs::DecisionLog* obs_decisions();
 
 // The evaluation cluster: 8 machines × 8 GPUs (§6.1). Carries the
 // init_obs() sinks when they are installed.

@@ -42,7 +42,7 @@ void send_response(int fd, const char* status, const char* content_type,
 }  // namespace
 
 bool HttpExporter::start(int port, std::string* error) {
-  if (listen_fd_ >= 0) {
+  if (listen_fd_.load() >= 0) {
     if (error != nullptr) *error = "exporter already running";
     return false;
   }
@@ -73,25 +73,28 @@ bool HttpExporter::start(int port, std::string* error) {
     return false;
   }
   port_ = static_cast<int>(ntohs(bound.sin_port));
-  listen_fd_ = fd;
+  listen_fd_.store(fd);
   thread_ = std::thread([this] { serve(); });
   return true;
 }
 
 void HttpExporter::stop() {
-  if (listen_fd_ < 0) return;
-  // Unblock the accept loop: shutdown makes a blocked accept() return with
-  // an error on Linux, and close() drops the fd either way.
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  // Claim the fd atomically so the serving thread's next loop iteration
+  // sees the retirement; shutdown makes a blocked accept() return with an
+  // error on Linux, and close() drops the fd either way.
+  const int fd = listen_fd_.exchange(-1);
+  if (fd < 0) return;
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
   if (thread_.joinable()) thread_.join();
   port_ = 0;
 }
 
 void HttpExporter::serve() {
   while (true) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int listen_fd = listen_fd_.load();
+    if (listen_fd < 0) return;  // retired by stop()
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed by stop()
@@ -137,9 +140,13 @@ void HttpExporter::handle_connection(int fd) {
   } else if (path == "/metrics.json") {
     send_response(fd, "200 OK", "application/json",
                   registry_.json_snapshot());
+  } else if (path == "/healthz") {
+    // Liveness probe: answering at all is the signal, so the body is a
+    // constant — no registry access, no locks.
+    send_response(fd, "200 OK", "text/plain", "ok\n");
   } else {
     send_response(fd, "404 Not Found", "text/plain",
-                  "try /metrics or /metrics.json\n");
+                  "try /metrics, /metrics.json, or /healthz\n");
   }
 }
 

@@ -2,12 +2,13 @@
 // metrics registry.
 //
 // A single background thread runs a blocking accept loop on a loopback
-// socket and answers two routes:
+// socket and answers three routes:
 //
 //   GET /metrics        Prometheus text exposition (text/plain; version=0.0.4)
 //   GET /metrics.json   the registry's JSON snapshot
+//   GET /healthz        liveness probe (200, body "ok\n", no registry access)
 //
-// anything else is a 404. Requests are served one at a time with
+// anything else is a 404 (with Content-Length, like every response). Requests are served one at a time with
 // Connection: close — this is an operator peephole for `curl` and a
 // single Prometheus scraper, not a web server. The registry handles are
 // thread-safe, so scraping a run in flight is safe by construction.
@@ -18,6 +19,7 @@
 // the serving thread; in-flight responses finish first.
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <thread>
 
@@ -42,7 +44,7 @@ class HttpExporter {
   // Shuts the listener down and joins the serving thread. Idempotent.
   void stop();
 
-  bool running() const { return listen_fd_ >= 0; }
+  bool running() const { return listen_fd_.load() >= 0; }
   // The bound port (resolves ephemeral binds); 0 when not running.
   int port() const { return port_; }
 
@@ -52,7 +54,9 @@ class HttpExporter {
 
   const MetricsRegistry& registry_;
   std::thread thread_;
-  int listen_fd_ = -1;
+  // Shared with the serving thread (its accept loop re-reads it each
+  // iteration), so stop() can retire the socket race-free.
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
 };
 

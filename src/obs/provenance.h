@@ -1,0 +1,191 @@
+// Decision provenance — the "why" quarter of src/obs (trace.h shows what
+// happened, metrics.h counts it, analysis.h audits it, this explains it).
+//
+// A DecisionLog is an append-only, structured record of every choice a
+// scheduling round made: the priority scores that ordered the queue, the
+// per-bucket candidate sets, every γ edge weight offered to the matching
+// graph, each Blossom round's matched/merged/unmatched nodes, the winning
+// groups with predicted γ, and the simulator's placement outcomes
+// (descending-GPU slot chosen, displaced victims, evictions with cause).
+// Export is JSONL: one self-contained JSON object per line, so the log
+// streams, greps, and diffs like a log file while staying machine-
+// parseable by the src/obs/json parser.
+//
+// Design constraints (DESIGN.md "Decision provenance"):
+//
+//  - Null is free: a null DecisionLog* in MuriOptions / SimOptions /
+//    ExecOptions skips every record call, and attaching a log never
+//    perturbs the decisions it records — plans and SimResult are
+//    bit-identical either way.
+//  - Byte-stable: records carry no wall-clock timestamps — only round
+//    ids, simulated time, and the deterministic doubles already computed
+//    by the scheduler — and doubles print in the same shortest-round-trip
+//    format the trace exporter uses. A fixed-seed run dumps a
+//    byte-identical log every time, for any num_threads.
+//  - Cross-linked: every record carries the round id that the tracer
+//    stamps on its scheduler-track round spans ("round" arg), so a
+//    Perfetto timeline and a provenance log index into each other.
+//
+// Record catalog (field "type"; every record also carries integer
+// "round"):
+//
+//   round_start   scheduler, policy, queue, capacity
+//   priority      policy, job:[ids], score:[doubles]   (queue order)
+//   bucket        gpus, jobs:[ids]                     (candidate set)
+//   match_round   gpus, stage, nodes:[[ids]], edges:[[u,v,gamma]],
+//                 matched:[[u,v]], unmatched:[node], fallback
+//   group         jobs:[ids], gpus, mode, gamma, priority, admitted,
+//                 reason (rejections only), budget_left
+//   deferred      jobs:[ids], reason                   (beyond the prefix)
+//   round_end     groups, admitted, rejected, contended
+//   placement     t, jobs:[ids], gpus, mode, machines:[ids], owner
+//   placement_skip t, jobs:[ids], gpus, reason, available_gpus
+//   preempt       t, job, reason
+//   restart       t, job, reason
+//   evict         t, job, machine, reason
+//   fault         t, job, reason
+//   degraded_continue t, jobs:[ids], gamma
+//   exec_group    names:[strings], slots, offsets, mode  (live executor)
+//   exec_result   names:[strings], gamma, killed
+//
+// Edge/matched indices address the sibling "nodes" arrays of the same
+// record; everything else is in job ids.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace muri::obs {
+
+// Appends `v` to `out` in the byte-stable JSON number format shared by
+// the obs exporters: integers plain, everything else shortest
+// round-trippable %.17g.
+void append_json_double(std::string& out, double v);
+
+class DecisionLog {
+ public:
+  // One record under construction. Obtained from DecisionLog::entry();
+  // commits to the log when it goes out of scope (end of the chained
+  // full expression, in the idiomatic use). Keys must be JSON-safe
+  // literals; string values are escaped.
+  class Entry {
+   public:
+    ~Entry();
+    Entry(Entry&& other) noexcept;
+    Entry(const Entry&) = delete;
+    Entry& operator=(const Entry&) = delete;
+    Entry& operator=(Entry&&) = delete;
+
+    Entry& num(const char* key, double v);
+    Entry& integer(const char* key, std::int64_t v);
+    Entry& str(const char* key, std::string_view v);
+    // Arrays of integers (machine lists, node indices, job ids).
+    Entry& ints(const char* key, const std::vector<int>& v);
+    Entry& ids(const char* key, const std::vector<std::int64_t>& v);
+    Entry& nums(const char* key, const std::vector<double>& v);
+    Entry& strs(const char* key, const std::vector<std::string>& v);
+    // Pre-serialized JSON value (nested arrays built by the caller).
+    Entry& raw(const char* key, std::string_view json);
+
+   private:
+    friend class DecisionLog;
+    Entry(DecisionLog* log, std::string line) noexcept
+        : log_(log), line_(std::move(line)) {}
+
+    DecisionLog* log_;
+    std::string line_;
+  };
+
+  DecisionLog() = default;
+
+  DecisionLog(const DecisionLog&) = delete;
+  DecisionLog& operator=(const DecisionLog&) = delete;
+
+  // Round bookkeeping. A scheduler calls begin_round() once at the top of
+  // each schedule() invocation; everyone else (the simulator's placement
+  // and preemption records, the explain queries) reads current_round().
+  // Ids are 1-based and never reused; a fresh log starts at round 1.
+  std::int64_t begin_round() noexcept {
+    return round_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  std::int64_t current_round() const noexcept {
+    return round_.load(std::memory_order_relaxed);
+  }
+
+  // Starts a record of `type`, stamped with current_round(). Records are
+  // appended in commit order; concurrent writers are safe but the
+  // schedulers/simulator serialize their rounds, so logs from fixed-seed
+  // runs are byte-identical.
+  Entry entry(std::string_view type);
+
+  // Committed record count.
+  std::int64_t records() const;
+
+  // The full JSONL dump (one '\n'-terminated line per record).
+  std::string jsonl() const;
+
+  // Writes jsonl() to `path`; false on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+  // Drops all records and resets the round counter.
+  void clear();
+
+ private:
+  friend class Entry;
+  void append(std::string line);
+
+  std::atomic<std::int64_t> round_{0};
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+// One parsed JSONL record: the JSON value plus the original line bytes
+// (so queries can re-emit records verbatim, byte-stably).
+struct DecisionRecord {
+  JsonValue value;
+  std::string raw;
+};
+
+// Parses a decisions JSONL dump (blank lines ignored). On failure returns
+// false with a 1-based line number and message in `error`.
+bool parse_decision_log(std::string_view jsonl,
+                        std::vector<DecisionRecord>& out,
+                        std::string* error = nullptr);
+
+// Schema check for a decisions JSONL dump: every record must be an object
+// carrying a string "type" and a non-negative integer "round", and the
+// per-type required fields of the catalog above must be present with the
+// right JSON types. Returns false with a diagnostic in `error`.
+bool validate_decision_log(std::string_view jsonl,
+                           std::string* error = nullptr);
+
+// Query: reconstructs one job's full decision history — the rounds it was
+// queued with its priority score, the candidate pairings considered with
+// their γ edge weights (matched partner marked, rejected alternatives
+// listed), the groups it landed in with predicted γ and admission
+// outcome, and every placement / preemption / eviction / fault with its
+// cause. Returns "" when the log holds no record mentioning the job.
+std::string explain_job_text(const std::vector<DecisionRecord>& records,
+                             std::int64_t job);
+// JSON form: {"job":N,"rounds":[{"round":R,"records":[...]}]} with the
+// records embedded verbatim.
+std::string explain_job_json(const std::vector<DecisionRecord>& records,
+                             std::int64_t job);
+
+// Query: renders everything one round decided — queue and priorities,
+// candidate buckets, each matching round's nodes/edges/merges, the groups
+// formed or rejected, and the resulting placements and preemptions.
+// Returns "" when the log holds no record for the round.
+std::string explain_round_text(const std::vector<DecisionRecord>& records,
+                               std::int64_t round);
+// JSON form: {"round":N,"records":[...]} with records embedded verbatim.
+std::string explain_round_json(const std::vector<DecisionRecord>& records,
+                               std::int64_t round);
+
+}  // namespace muri::obs

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace muri::runtime {
@@ -72,6 +73,23 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
   obs::Tracer* const tracer = options.tracer;
   const double run_epoch =
       tracer != nullptr ? static_cast<double>(tracer->begin_run_epoch()) : 0.0;
+  if (options.decisions != nullptr) {
+    std::vector<std::string> names;
+    std::vector<int> offsets;
+    names.reserve(p);
+    offsets.reserve(p);
+    for (const ExecJobSpec& j : jobs) {
+      names.push_back(j.name);
+      offsets.push_back(j.offset);
+    }
+    options.decisions->entry("exec_group")
+        .strs("names", names)
+        .integer("slots", static_cast<std::int64_t>(
+                              options.slots.empty() ? kNumResources
+                                                    : options.slots.size()))
+        .ints("offsets", offsets)
+        .str("mode", options.coordinate ? "coordinated" : "uncoordinated");
+  }
   if (tracer != nullptr) {
     tracer->name_track(obs::kExecutorTrack, "executor");
     for (size_t i = 0; i < p; ++i) {
@@ -254,6 +272,15 @@ ExecResult run_group(const std::vector<ExecJobSpec>& jobs,
                     {{"machine", "executor"}})
           .observe(result.gamma_realized - options.gamma_predicted);
     }
+  }
+  if (options.decisions != nullptr) {
+    std::vector<std::string> names;
+    names.reserve(p);
+    for (const ExecJobSpec& j : jobs) names.push_back(j.name);
+    options.decisions->entry("exec_result")
+        .strs("names", names)
+        .num("gamma", result.gamma_realized)
+        .integer("killed", result.killed_jobs);
   }
   return result;
 }

@@ -27,6 +27,7 @@
 #include "common/types.h"
 
 namespace muri::obs {
+class DecisionLog;
 class MetricsRegistry;
 class Tracer;
 }  // namespace muri::obs
@@ -75,6 +76,11 @@ struct ExecOptions {
   // When > 0 and metrics is set, realized − predicted is observed into
   // muri_group_gamma_error.
   double gamma_predicted = 0;
+  // Optional decision-provenance sink: run_group records an exec_group
+  // entry (members, mode, rotation offsets) when the window opens and an
+  // exec_result entry (realized γ, kills) when it closes — the executor's
+  // ground-truth answer to the scheduler's group records. Null skips both.
+  obs::DecisionLog* decisions = nullptr;
 };
 
 struct ExecJobResult {

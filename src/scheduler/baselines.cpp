@@ -3,7 +3,75 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/provenance.h"
+
 namespace muri {
+
+namespace {
+
+// Decision-provenance wrapper shared by the preemptive baselines: runs
+// exclusive_plan and, when a log is attached, records the round — queue
+// priorities, each singleton group's admission verdict (γ of a solo job
+// is 1 by definition), and the round summary. Logging happens after the
+// plan is built, so attached and detached rounds plan identically.
+template <typename PriorityFn>
+std::vector<PlannedGroup> logged_exclusive_plan(
+    Scheduler& self, const char* policy, const std::vector<JobView>& ordered,
+    const SchedulerContext& ctx, PriorityFn&& priority) {
+  auto plan = exclusive_plan(ordered, ctx.capacity());
+  obs::DecisionLog* dlog = self.decision_log();
+  if (dlog == nullptr) return plan;
+  dlog->begin_round();
+  dlog->entry("round_start")
+      .str("scheduler", self.name())
+      .str("policy", policy)
+      .integer("queue", static_cast<std::int64_t>(ordered.size()))
+      .integer("capacity", ctx.capacity());
+  std::vector<std::int64_t> ids;
+  std::vector<double> scores;
+  ids.reserve(ordered.size());
+  scores.reserve(ordered.size());
+  for (const JobView& v : ordered) {
+    ids.push_back(v.id);
+    scores.push_back(priority(v));
+  }
+  dlog->entry("priority").str("policy", policy).ids("job", ids).nums("score",
+                                                                     scores);
+  std::vector<JobId> planned_ids;
+  planned_ids.reserve(plan.size());
+  for (const PlannedGroup& g : plan) {
+    planned_ids.push_back(g.members.front());
+    dlog->entry("group")
+        .ids("jobs", g.members)
+        .integer("gpus", g.num_gpus)
+        .str("mode", "exclusive")
+        .num("gamma", 1.0)
+        .raw("admitted", "true");
+  }
+  std::int64_t rejected = 0;
+  for (const JobView& v : ordered) {
+    if (std::find(planned_ids.begin(), planned_ids.end(), v.id) !=
+        planned_ids.end()) {
+      continue;
+    }
+    ++rejected;
+    dlog->entry("group")
+        .ids("jobs", {v.id})
+        .integer("gpus", v.num_gpus)
+        .str("mode", "exclusive")
+        .num("gamma", 1.0)
+        .raw("admitted", "false")
+        .str("reason", "gpu_budget");
+  }
+  dlog->entry("round_end")
+      .integer("groups", static_cast<std::int64_t>(plan.size()))
+      .integer("admitted", static_cast<std::int64_t>(plan.size()))
+      .integer("rejected", rejected)
+      .integer("contended", rejected > 0 ? 1 : 0);
+  return plan;
+}
+
+}  // namespace
 
 TiresiasScheduler::TiresiasScheduler() : TiresiasScheduler(Options{}) {}
 
@@ -37,31 +105,32 @@ std::vector<PlannedGroup> exclusive_plan(const std::vector<JobView>& ordered,
 
 std::vector<PlannedGroup> FifoScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
-  auto ordered = sorted_by_priority(
-      queue, [](const JobView& v) { return v.submit_time; });
-  return exclusive_plan(ordered, ctx.capacity());
+  const auto priority = [](const JobView& v) { return v.submit_time; };
+  auto ordered = sorted_by_priority(queue, priority);
+  return logged_exclusive_plan(*this, "FIFO", ordered, ctx, priority);
 }
 
 std::vector<PlannedGroup> SrtfScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
-  auto ordered = sorted_by_priority(
-      queue, [](const JobView& v) { return v.remaining_time; });
-  return exclusive_plan(ordered, ctx.capacity());
+  const auto priority = [](const JobView& v) { return v.remaining_time; };
+  auto ordered = sorted_by_priority(queue, priority);
+  return logged_exclusive_plan(*this, "SRTF", ordered, ctx, priority);
 }
 
 std::vector<PlannedGroup> SrsfScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
-  auto ordered = sorted_by_priority(queue, [](const JobView& v) {
+  const auto priority = [](const JobView& v) {
     return v.remaining_time * static_cast<double>(v.num_gpus);
-  });
-  return exclusive_plan(ordered, ctx.capacity());
+  };
+  auto ordered = sorted_by_priority(queue, priority);
+  return logged_exclusive_plan(*this, "SRSF", ordered, ctx, priority);
 }
 
 std::vector<PlannedGroup> TiresiasScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
   // Discretized 2D-LAS: bucket by attained GPU-time, FIFO within a bucket.
   const auto& thresholds = options_.queue_thresholds;
-  auto ordered = sorted_by_priority(queue, [&](const JobView& v) {
+  const auto priority = [&](const JobView& v) {
     std::size_t level = 0;
     while (level < thresholds.size() &&
            v.attained_service >= thresholds[level]) {
@@ -69,8 +138,9 @@ std::vector<PlannedGroup> TiresiasScheduler::schedule(
     }
     // Level dominates; submit time breaks ties inside a level (FIFO).
     return static_cast<double>(level) * 1e18 + v.submit_time;
-  });
-  return exclusive_plan(ordered, ctx.capacity());
+  };
+  auto ordered = sorted_by_priority(queue, priority);
+  return logged_exclusive_plan(*this, "2D-LAS", ordered, ctx, priority);
 }
 
 std::vector<PlannedGroup> ThemisScheduler::schedule(
@@ -78,13 +148,14 @@ std::vector<PlannedGroup> ThemisScheduler::schedule(
   // Finish-time-fairness approximation: a job's fairness deficit is its
   // age divided by the service it has attained (normalized per GPU).
   // Jobs with a large deficit (starved relative to their age) run first.
-  auto ordered = sorted_by_priority(queue, [](const JobView& v) {
+  const auto priority = [](const JobView& v) {
     const double per_gpu_service =
         v.attained_service / static_cast<double>(v.num_gpus);
     const double deficit = (v.age + 1.0) / (per_gpu_service + 1.0);
     return -deficit;
-  });
-  return exclusive_plan(ordered, ctx.capacity());
+  };
+  auto ordered = sorted_by_priority(queue, priority);
+  return logged_exclusive_plan(*this, "fairness", ordered, ctx, priority);
 }
 
 std::vector<PlannedGroup> AntManScheduler::schedule(
@@ -164,6 +235,51 @@ std::vector<PlannedGroup> AntManScheduler::schedule(
   // Non-preemptive: keep existing groups ahead of placement pressure by
   // *not* re-sorting; insertion order (map by primary id) is stable and
   // the simulator places in plan order.
+  if (obs::DecisionLog* dlog = decision_log(); dlog != nullptr) {
+    dlog->begin_round();
+    dlog->entry("round_start")
+        .str("scheduler", name())
+        .str("policy", "FIFO-sharing")
+        .integer("queue", static_cast<std::int64_t>(queue.size()))
+        .integer("capacity", ctx.capacity());
+    std::vector<std::int64_t> ids;
+    std::vector<double> scores;
+    for (const JobView& v : ordered) {
+      ids.push_back(v.id);
+      scores.push_back(v.submit_time);
+    }
+    dlog->entry("priority").str("policy", "FIFO-sharing").ids("job", ids).nums(
+        "score", scores);
+    for (const PlannedGroup& g : plan) {
+      dlog->entry("group")
+          .ids("jobs", g.members)
+          .integer("gpus", g.num_gpus)
+          .str("mode", g.mode == GroupMode::kExclusive ? "exclusive"
+                                                       : "uncoordinated")
+          .num("gamma", 1.0)
+          .raw("admitted", "true");
+    }
+    std::int64_t rejected = 0;
+    for (const JobView& v : ordered) {
+      if (std::find(admitted.begin(), admitted.end(), v.id) !=
+          admitted.end()) {
+        continue;
+      }
+      ++rejected;
+      dlog->entry("group")
+          .ids("jobs", {v.id})
+          .integer("gpus", v.num_gpus)
+          .str("mode", "exclusive")
+          .num("gamma", 1.0)
+          .raw("admitted", "false")
+          .str("reason", "no_sharing_headroom");
+    }
+    dlog->entry("round_end")
+        .integer("groups", static_cast<std::int64_t>(plan.size()))
+        .integer("admitted", static_cast<std::int64_t>(plan.size()))
+        .integer("rejected", rejected)
+        .integer("contended", rejected > 0 ? 1 : 0);
+  }
   return plan;
 }
 

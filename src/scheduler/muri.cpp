@@ -13,7 +13,9 @@
 
 #include "common/threadpool.h"
 #include "matching/blossom.h"
+#include "matching/capture.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 
 namespace muri {
@@ -63,7 +65,9 @@ void union_key(const GroupNode& a, const GroupNode& b, std::vector<int>& key) {
 // *exactly* (bit-identical sums), not merely approximately.
 void export_round_metrics(obs::MetricsRegistry& m, const GroupingStats& round,
                           std::size_t queue_jobs, std::size_t plan_groups,
-                          double round_wall_seconds) {
+                          double round_wall_seconds,
+                          std::int64_t groups_formed,
+                          std::int64_t groups_rejected) {
   m.counter("muri_sched_rounds_total", "Scheduling rounds executed").inc();
   m.counter("muri_sched_graph_build_seconds_total",
             "Wall seconds building matching-graph edge weights")
@@ -79,6 +83,17 @@ void export_round_metrics(obs::MetricsRegistry& m, const GroupingStats& round,
       .inc(static_cast<double>(round.cache_misses));
   m.counter("muri_sched_matchings_total", "Blossom invocations")
       .inc(static_cast<double>(round.matchings_run));
+  // Aggregate decision counters, mirroring the provenance log's verdicts
+  // onto /metrics (the simulator adds preemptions-by-reason alongside).
+  m.counter("muri_decision_groups_formed_total",
+            "Multi-job interleaving groups emitted by grouping")
+      .inc(static_cast<double>(groups_formed));
+  m.counter("muri_decision_groups_rejected_total",
+            "Planned groups denied admission by the round's GPU budget")
+      .inc(static_cast<double>(groups_rejected));
+  m.counter("muri_decision_matching_fallbacks_total",
+            "Grouping rounds that ended without a productive matching")
+      .inc(static_cast<double>(round.matching_fallbacks));
   m.gauge("muri_sched_queue_jobs", "Jobs visible to the last round")
       .set(static_cast<double>(queue_jobs));
   m.gauge("muri_sched_plan_groups", "Groups emitted by the last round")
@@ -92,7 +107,7 @@ void export_round_metrics(obs::MetricsRegistry& m, const GroupingStats& round,
 
 std::vector<std::vector<int>> multi_round_grouping(
     const std::vector<ResourceVector>& profiles, int max_group_size,
-    ThreadPool* pool, GroupingStats* stats) {
+    ThreadPool* pool, GroupingStats* stats, GroupingCapture* capture) {
   assert(max_group_size >= 1);
   std::vector<GroupNode> nodes;
   nodes.reserve(profiles.size());
@@ -202,7 +217,33 @@ std::vector<std::vector<int>> multi_round_grouping(
       }
     }
     if (stats != nullptr) stats->graph_build_seconds += seconds_since(t_graph);
-    if (!any_edge.load(std::memory_order_relaxed)) break;
+
+    // Provenance snapshot of this round's decision inputs, copied out of
+    // the assembled graph — never consulted by the algorithm, so capture
+    // on/off yields bit-identical groupings.
+    MatchingRoundRecord* rec = nullptr;
+    if (capture != nullptr) {
+      rec = &capture->rounds.emplace_back();
+      rec->stage = round;
+      rec->nodes.reserve(static_cast<size_t>(n));
+      for (const GroupNode& node : nodes) rec->nodes.push_back(node.members);
+      for (int u = 0; u < n; ++u) {
+        for (int v = u + 1; v < n; ++v) {
+          const double w = graph.weight(u, v);
+          if (w > 0) rec->edges.push_back({u, v, w});
+        }
+      }
+    }
+    const auto record_fallback = [&] {
+      if (stats != nullptr) ++stats->matching_fallbacks;
+      if (rec == nullptr) return;
+      rec->fallback = true;
+      for (int u = 0; u < n; ++u) rec->unmatched.push_back(u);
+    };
+    if (!any_edge.load(std::memory_order_relaxed)) {
+      record_fallback();
+      break;
+    }
 
     const auto t_match = Clock::now();
     const Matching matching = max_weight_matching(graph);
@@ -210,7 +251,20 @@ std::vector<std::vector<int>> multi_round_grouping(
       stats->matching_seconds += seconds_since(t_match);
       ++stats->matchings_run;
     }
-    if (matching.pairs == 0) break;
+    if (matching.pairs == 0) {
+      record_fallback();
+      break;
+    }
+    if (rec != nullptr) {
+      for (int u = 0; u < n; ++u) {
+        const int v = matching.mate[static_cast<size_t>(u)];
+        if (v > u) {
+          rec->matched.push_back({u, v});
+        } else if (v < 0) {
+          rec->unmatched.push_back(u);
+        }
+      }
+    }
 
     std::vector<GroupNode> next;
     next.reserve(nodes.size());
@@ -254,6 +308,7 @@ MuriScheduler::MuriScheduler(MuriOptions options) : options_(options) {
   assert(options_.max_group_size >= 1 &&
          options_.max_group_size <= kNumResources);
   assert(options_.num_threads >= 0);
+  set_decision_log(options_.decisions);
 }
 
 MuriScheduler::~MuriScheduler() = default;
@@ -297,18 +352,39 @@ double MuriScheduler::priority_of(const JobView& v) const {
 std::vector<PlannedGroup> MuriScheduler::schedule(
     const std::vector<JobView>& queue, const SchedulerContext& ctx) {
   last_round_stats_ = {};
+  // Round id shared by the trace round span and the decision log — the
+  // Perfetto/provenance cross-link. round_seq_ and begin_round() advance
+  // in lockstep, so a log attached from construction sees the very ids a
+  // log-free run stamps on its traces.
+  obs::DecisionLog* dlog = decision_log();
+  ++round_seq_;
+  const std::int64_t round_id =
+      dlog != nullptr ? dlog->begin_round() : round_seq_;
+  // Decision counters surfaced by finish_round (metrics + round_end).
+  std::int64_t groups_formed = 0;
+  std::int64_t groups_rejected = 0;
   // Observability epilogue shared by both return paths. Purely read-only:
   // the plan is computed before any of this runs, so instrumented and
   // uninstrumented rounds emit bit-identical plans.
   const bool instrumented =
       options_.metrics != nullptr || options_.trace != nullptr;
   const auto t_round = instrumented ? Clock::now() : Clock::time_point{};
-  const auto finish_round = [&](const std::vector<PlannedGroup>& plan) {
+  const auto finish_round = [&](const std::vector<PlannedGroup>& plan,
+                                bool contended) {
+    if (dlog != nullptr) {
+      dlog->entry("round_end")
+          .integer("groups", static_cast<std::int64_t>(plan.size()))
+          .integer("admitted",
+                   static_cast<std::int64_t>(plan.size()) - groups_rejected)
+          .integer("rejected", groups_rejected)
+          .integer("contended", contended ? 1 : 0);
+    }
     if (!instrumented) return;
     const double wall_seconds = seconds_since(t_round);
     if (options_.metrics != nullptr) {
       export_round_metrics(*options_.metrics, last_round_stats_, queue.size(),
-                           plan.size(), wall_seconds);
+                           plan.size(), wall_seconds, groups_formed,
+                           groups_rejected);
     }
     if (options_.trace != nullptr && options_.trace->enabled()) {
       obs::Tracer& tr = *options_.trace;
@@ -327,11 +403,31 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
                       static_cast<double>(plan.size()), "cache_hits",
                       static_cast<double>(last_round_stats_.cache_hits),
                       "matchings",
-                      static_cast<double>(last_round_stats_.matchings_run)));
+                      static_cast<double>(last_round_stats_.matchings_run))
+                      .add("round", static_cast<double>(round_id)));
     }
   };
   auto ordered =
       sorted_by_priority(queue, [&](const JobView& v) { return priority_of(v); });
+  if (dlog != nullptr) {
+    dlog->entry("round_start")
+        .str("scheduler", name())
+        .str("policy", options_.durations_known ? "SRSF" : "2D-LAS")
+        .integer("queue", static_cast<std::int64_t>(queue.size()))
+        .integer("capacity", ctx.capacity());
+    std::vector<std::int64_t> ids;
+    std::vector<double> scores;
+    ids.reserve(ordered.size());
+    scores.reserve(ordered.size());
+    for (const JobView& v : ordered) {
+      ids.push_back(v.id);
+      scores.push_back(priority_of(v));
+    }
+    dlog->entry("priority")
+        .str("policy", options_.durations_known ? "SRSF" : "2D-LAS")
+        .ids("job", ids)
+        .nums("score", scores);
+  }
 
   // Uncontended cluster: exclusive allocation beats interleaving (no
   // sharing benefit, only overhead), so fall back to plain priority
@@ -345,7 +441,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
       plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}, 0});
     }
     sort_groups_for_placement(plan);
-    finish_round(plan);
+    finish_round(plan, /*contended=*/false);
     return plan;
   }
 
@@ -383,9 +479,11 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   // the serial iteration order) so results are assembled identically no
   // matter how the grouping work below is scheduled across threads.
   std::vector<std::vector<int>> bucket_indices;
+  std::vector<int> bucket_keys;
   bucket_indices.reserve(buckets.size());
+  bucket_keys.reserve(buckets.size());
   for (auto& [key, indices] : buckets) {
-    (void)key;
+    bucket_keys.push_back(key);
     bucket_indices.push_back(std::move(indices));
   }
   const size_t nb = bucket_indices.size();
@@ -405,13 +503,21 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   // still fans its edge loop out across the pool.
   std::vector<std::vector<std::vector<int>>> bucket_groups(nb);
   std::vector<GroupingStats> bucket_stats(nb);
+  // Matching captures for the decision log: one slot per bucket so the
+  // concurrent grouping below stays race-free, serialized afterwards in
+  // bucket order. Null capture pointers when no log is attached keep the
+  // disabled path allocation-free.
+  std::vector<GroupingCapture> bucket_captures(dlog != nullptr ? nb : 0);
   ThreadPool* round_pool = pool();
   const auto group_bucket = [&](std::int64_t bi) {
     const auto& profs = bucket_profiles[static_cast<size_t>(bi)];
     auto& groups = bucket_groups[static_cast<size_t>(bi)];
     if (options_.use_blossom) {
       groups = multi_round_grouping(profs, options_.max_group_size, round_pool,
-                                    &bucket_stats[static_cast<size_t>(bi)]);
+                                    &bucket_stats[static_cast<size_t>(bi)],
+                                    dlog != nullptr
+                                        ? &bucket_captures[static_cast<size_t>(bi)]
+                                        : nullptr);
     } else {
       // Ablation (§6.4): pack jobs with the same GPU requirement
       // consecutively in descending priority order.
@@ -436,9 +542,81 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   for (const GroupingStats& s : bucket_stats) last_round_stats_.accumulate(s);
   cumulative_stats_.accumulate(last_round_stats_);
 
+  // Serialize the per-bucket candidate sets and matching rounds into the
+  // decision log, translating bucket-local member indices to job ids
+  // (edge/matched endpoints stay node indices into the sibling "nodes"
+  // array, per the record catalog).
+  if (dlog != nullptr) {
+    const auto job_of = [&](size_t bi, int local) {
+      return candidates[static_cast<size_t>(
+                            bucket_indices[bi][static_cast<size_t>(local)])]
+          .id;
+    };
+    std::string scratch;
+    for (size_t bi = 0; bi < nb; ++bi) {
+      std::vector<std::int64_t> jobs;
+      jobs.reserve(bucket_indices[bi].size());
+      for (size_t i = 0; i < bucket_indices[bi].size(); ++i) {
+        jobs.push_back(job_of(bi, static_cast<int>(i)));
+      }
+      dlog->entry("bucket").integer("gpus", bucket_keys[bi]).ids("jobs", jobs);
+      for (const MatchingRoundRecord& mr : bucket_captures[bi].rounds) {
+        std::string nodes_json = "[";
+        for (size_t ni = 0; ni < mr.nodes.size(); ++ni) {
+          if (ni != 0) nodes_json += ',';
+          nodes_json += '[';
+          for (size_t mi = 0; mi < mr.nodes[ni].size(); ++mi) {
+            if (mi != 0) nodes_json += ',';
+            scratch.clear();
+            obs::append_json_double(
+                scratch, static_cast<double>(job_of(bi, mr.nodes[ni][mi])));
+            nodes_json += scratch;
+          }
+          nodes_json += ']';
+        }
+        nodes_json += ']';
+        std::string edges_json = "[";
+        for (size_t ei = 0; ei < mr.edges.size(); ++ei) {
+          if (ei != 0) edges_json += ',';
+          edges_json += '[';
+          obs::append_json_double(edges_json,
+                                  static_cast<double>(mr.edges[ei].u));
+          edges_json += ',';
+          obs::append_json_double(edges_json,
+                                  static_cast<double>(mr.edges[ei].v));
+          edges_json += ',';
+          obs::append_json_double(edges_json, mr.edges[ei].gamma);
+          edges_json += ']';
+        }
+        edges_json += ']';
+        std::string matched_json = "[";
+        for (size_t pi = 0; pi < mr.matched.size(); ++pi) {
+          if (pi != 0) matched_json += ',';
+          matched_json += '[';
+          obs::append_json_double(matched_json,
+                                  static_cast<double>(mr.matched[pi].first));
+          matched_json += ',';
+          obs::append_json_double(matched_json,
+                                  static_cast<double>(mr.matched[pi].second));
+          matched_json += ']';
+        }
+        matched_json += ']';
+        dlog->entry("match_round")
+            .integer("gpus", bucket_keys[bi])
+            .integer("stage", mr.stage)
+            .raw("nodes", nodes_json)
+            .raw("edges", edges_json)
+            .raw("matched", matched_json)
+            .ints("unmatched", mr.unmatched)
+            .raw("fallback", mr.fallback ? "true" : "false");
+      }
+    }
+  }
+
   struct Planned {
     PlannedGroup group;
     double priority;
+    double gamma;
   };
   std::vector<Planned> planned;
 
@@ -458,6 +636,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
         max_gpus = std::max(max_gpus, v.num_gpus);
       }
       g.num_gpus = max_gpus;
+      double gamma = 1.0;  // a solo job's interleaving efficiency
       if (g.members.size() == 1) {
         g.mode = GroupMode::kExclusive;
       } else {
@@ -466,8 +645,10 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
         g.slots = std::move(plan.slots);
         g.offsets = std::move(plan.offsets);
         g.planned_period = plan.period;
+        gamma = plan.efficiency;
+        ++groups_formed;
       }
-      planned.push_back({std::move(g), best_priority});
+      planned.push_back({std::move(g), best_priority, gamma});
     }
   }
 
@@ -484,10 +665,27 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   std::vector<PlannedGroup> overflow;
   int budget = ctx.capacity();
   for (auto& p : planned) {
-    if (p.group.num_gpus <= budget) {
+    const bool fits = p.group.num_gpus <= budget;
+    if (dlog != nullptr) {
+      auto e = dlog->entry("group");
+      e.ids("jobs", p.group.members)
+          .integer("gpus", p.group.num_gpus)
+          .str("mode", p.group.mode == GroupMode::kExclusive ? "exclusive"
+                                                             : "interleaved")
+          .num("gamma", p.gamma)
+          .num("priority", p.priority)
+          .raw("admitted", fits ? "true" : "false");
+      if (fits) {
+        e.integer("budget_left", budget - p.group.num_gpus);
+      } else {
+        e.str("reason", "gpu_budget");
+      }
+    }
+    if (fits) {
       budget -= p.group.num_gpus;
       admitted.push_back(std::move(p.group));
     } else {
+      ++groups_rejected;
       overflow.push_back(std::move(p.group));
     }
   }
@@ -499,7 +697,15 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   for (const JobView& v : rest) {
     plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}, 0});
   }
-  finish_round(plan);
+  if (dlog != nullptr && !rest.empty()) {
+    std::vector<std::int64_t> deferred_ids;
+    deferred_ids.reserve(rest.size());
+    for (const JobView& v : rest) deferred_ids.push_back(v.id);
+    dlog->entry("deferred")
+        .ids("jobs", deferred_ids)
+        .str("reason", "beyond_candidate_prefix");
+  }
+  finish_round(plan, /*contended=*/true);
   return plan;
 }
 

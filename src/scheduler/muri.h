@@ -24,6 +24,7 @@
 #include "scheduler/scheduler.h"
 
 namespace muri::obs {
+class DecisionLog;
 class MetricsRegistry;
 class Tracer;
 }  // namespace muri::obs
@@ -31,6 +32,7 @@ class Tracer;
 namespace muri {
 
 class ThreadPool;
+struct GroupingCapture;
 
 struct MuriOptions {
   // Maximum jobs per interleaving group (Fig. 12 varies this 2..4).
@@ -66,6 +68,13 @@ struct MuriOptions {
   // output are bit-identical either way.
   obs::Tracer* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Decision provenance sink (src/obs/provenance): per-round priority
+  // scores, candidate buckets, every γ edge offered to Blossom, and each
+  // group's admission verdict. Same contract as the other two hooks —
+  // null (the default) is a zero-cost no-op and attaching a log leaves
+  // the plan bit-identical. Forwarded to Scheduler::set_decision_log();
+  // a log attached later via that setter works identically.
+  obs::DecisionLog* decisions = nullptr;
 };
 
 // Counters for one scheduling round (or one multi_round_grouping call):
@@ -85,6 +94,10 @@ struct GroupingStats {
   std::int64_t cache_misses = 0;
   // Blossom invocations.
   std::int64_t matchings_run = 0;
+  // Grouping rounds that ended without a productive matching (no positive
+  // γ edges, or Blossom matched zero pairs) and fell back to emitting the
+  // current nodes as final groups.
+  std::int64_t matching_fallbacks = 0;
 
   void accumulate(const GroupingStats& other) {
     graph_build_seconds += other.graph_build_seconds;
@@ -92,6 +105,7 @@ struct GroupingStats {
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     matchings_run += other.matchings_run;
+    matching_fallbacks += other.matching_fallbacks;
   }
 };
 
@@ -133,6 +147,10 @@ class MuriScheduler final : public Scheduler {
   std::unique_ptr<ThreadPool> pool_;
   GroupingStats last_round_stats_;
   GroupingStats cumulative_stats_;
+  // Round ids for the trace round span and the decision log; kept in
+  // lockstep with DecisionLog::begin_round() so a log attached from
+  // construction sees the same ids a log-free run would stamp on traces.
+  std::int64_t round_seq_ = 0;
 };
 
 // The multi-round grouping core (Algorithm 1), exposed for unit tests and
@@ -152,8 +170,13 @@ std::vector<std::vector<int>> multi_round_grouping(
 // written to its own slot, the Blossom matching itself runs serially on
 // the assembled graph, and the γ-cache is only ever read during the
 // parallel phase (misses are folded in serially between rounds).
+// `capture` (may be null) receives one MatchingRoundRecord per Blossom
+// round — nodes, positive edges, merges, survivors — copied out of the
+// assembled graph after the fact; populating it never changes the result
+// (see matching/capture.h).
 std::vector<std::vector<int>> multi_round_grouping(
     const std::vector<ResourceVector>& profiles, int max_group_size,
-    ThreadPool* pool, GroupingStats* stats);
+    ThreadPool* pool, GroupingStats* stats,
+    GroupingCapture* capture = nullptr);
 
 }  // namespace muri

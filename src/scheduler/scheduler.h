@@ -17,6 +17,10 @@
 #include "common/types.h"
 #include "job/model.h"
 
+namespace muri::obs {
+class DecisionLog;
+}  // namespace muri::obs
+
 namespace muri {
 
 // What a scheduler is allowed to know about a queued or running job.
@@ -96,6 +100,16 @@ class Scheduler {
   // (or become) pending. Called only on rounds where the queue changed.
   virtual std::vector<PlannedGroup> schedule(const std::vector<JobView>& queue,
                                              const SchedulerContext& ctx) = 0;
+
+  // Decision provenance sink (src/obs/provenance). Null — the default —
+  // disables logging entirely; attaching a log never changes the plan.
+  // Schedulers call decisions()->begin_round() per schedule() invocation
+  // and record round_start/priority/group/... entries against it.
+  void set_decision_log(obs::DecisionLog* log) noexcept { decisions_ = log; }
+  obs::DecisionLog* decision_log() const noexcept { return decisions_; }
+
+ private:
+  obs::DecisionLog* decisions_ = nullptr;
 };
 
 // Stable-sorts groups by descending GPU demand — the §5 placement order

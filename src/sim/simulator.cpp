@@ -12,6 +12,7 @@
 #include "common/rng.h"
 #include "interleave/efficiency.h"
 #include "obs/metrics.h"
+#include "obs/provenance.h"
 #include "obs/trace.h"
 #include "sim/fluid.h"
 
@@ -219,6 +220,15 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       "Per-job wall seconds placed but stalled in a restart gate");
   obs::Summary& s_job_preemptions = registry.summary(
       "muri_job_preemptions", "Per-job placements lost to preemption or eviction");
+  // Decision counters by cause, mirroring the provenance log's preempt/
+  // evict records onto /metrics (incremented whether or not a log is
+  // attached, like every other counter here).
+  obs::Counter& c_dec_preempt_displaced = registry.counter(
+      "muri_decision_preemptions_total", "Preemptions by cause",
+      {{"reason", "displaced"}});
+  obs::Counter& c_dec_preempt_machine = registry.counter(
+      "muri_decision_preemptions_total", "Preemptions by cause",
+      {{"reason", "machine_down"}});
 
   const double base_faults = c_faults.value();
   const double base_restarts = c_restarts.value();
@@ -232,6 +242,15 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   // track (submits, rounds). All instrumentation below is read-only with
   // respect to simulation state.
   obs::Tracer* const tracer = options.tracer;
+  // Decision provenance: the simulator writes the outcome half of every
+  // round (placements, skips, preemptions with cause) against the round
+  // id the scheduler stamped. The same sink is attached to the scheduler
+  // so one log carries both halves — unless the caller already wired a
+  // log of their own into the scheduler, which then wins.
+  obs::DecisionLog* const decisions = options.decisions;
+  if (decisions != nullptr && scheduler.decision_log() == nullptr) {
+    scheduler.set_decision_log(decisions);
+  }
   // Several runs may share one tracer (bench tables); the epoch separates
   // their overlapping sim-time windows and reused job/group ids for the
   // analysis layer.
@@ -649,6 +668,12 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       s.acct = acct_ptr;
       begin_run_span(s, home);
     }
+    if (decisions != nullptr) {
+      decisions->entry("degraded_continue")
+          .num("t", now)
+          .ids("jobs", g.members)
+          .num("gamma", gamma_pred);
+    }
   };
 
   auto apply_plan = [&](const std::vector<PlannedGroup>& plan) {
@@ -681,8 +706,27 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         max_gpus = std::max(max_gpus, s.job->num_gpus);
         min_gpus = std::min(min_gpus, s.job->num_gpus);
       }
-      if (!valid || g.num_gpus < max_gpus) continue;
-      if (!cluster.can_allocate(g.num_gpus)) continue;
+      if (!valid || g.num_gpus < max_gpus) {
+        if (decisions != nullptr) {
+          decisions->entry("placement_skip")
+              .num("t", now)
+              .ids("jobs", g.members)
+              .integer("gpus", g.num_gpus)
+              .str("reason", "invalid");
+        }
+        continue;
+      }
+      if (!cluster.can_allocate(g.num_gpus)) {
+        if (decisions != nullptr) {
+          decisions->entry("placement_skip")
+              .num("t", now)
+              .ids("jobs", g.members)
+              .integer("gpus", g.num_gpus)
+              .str("reason", "no_capacity")
+              .integer("available_gpus", cluster.available_gpus());
+        }
+        continue;
+      }
       const OwnerId owner = next_owner++;
       const std::vector<GpuId> gpus = cluster.allocate(owner, g.num_gpus);
 
@@ -695,6 +739,23 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         if (rg.machines.empty() || rg.machines.back() != m) {
           rg.machines.push_back(m);
         }
+      }
+      if (decisions != nullptr) {
+        std::vector<int> machine_ids;
+        machine_ids.reserve(rg.machines.size());
+        for (MachineId m : rg.machines) {
+          machine_ids.push_back(static_cast<int>(m));
+        }
+        decisions->entry("placement")
+            .num("t", now)
+            .ids("jobs", g.members)
+            .integer("gpus", g.num_gpus)
+            .str("mode", g.mode == GroupMode::kExclusive  ? "exclusive"
+                         : g.mode == GroupMode::kInterleaved
+                             ? "interleaved"
+                             : "uncoordinated")
+            .ints("machines", machine_ids)
+            .integer("owner", static_cast<std::int64_t>(owner));
       }
       running_groups.emplace(owner, std::move(rg));
 
@@ -867,6 +928,12 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           if (s.running) {
             c_restarts.inc();
             job_instant(s, "restart");
+            if (decisions != nullptr) {
+              decisions->entry("restart")
+                  .num("t", now)
+                  .integer("job", id)
+                  .str("reason", "regrouped");
+            }
             end_run_span(s);
           }
           s.key = key;
@@ -902,6 +969,13 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     for (JobState& s : states) {
       if (s.running && !newly_running.count(s.job->id)) {
         job_instant(s, "preempt");
+        c_dec_preempt_displaced.inc();
+        if (decisions != nullptr) {
+          decisions->entry("preempt")
+              .num("t", now)
+              .integer("job", s.job->id)
+              .str("reason", "displaced");
+        }
         end_run_span(s);
         s.running = false;
         s.period = 0;
@@ -1008,6 +1082,14 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                 JobState& s = states[static_cast<size_t>(id)];
                 if (s.running && !s.finished) {
                   job_instant(s, "evict");
+                  c_dec_preempt_machine.inc();
+                  if (decisions != nullptr) {
+                    decisions->entry("evict")
+                        .num("t", now)
+                        .integer("job", id)
+                        .integer("machine", static_cast<std::int64_t>(e.machine))
+                        .str("reason", "machine_down");
+                  }
                   end_run_span(s);
                   s.running = false;
                   s.period = 0;
@@ -1088,6 +1170,12 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           const OwnerId owner = s.owner;
           const JobId dead = s.job->id;
           job_instant(s, "fault");
+          if (decisions != nullptr) {
+            decisions->entry("fault")
+                .num("t", now)
+                .integer("job", dead)
+                .str("reason", "job_fault");
+          }
           end_run_span(s);
           s.running = false;
           s.period = 0;
@@ -1199,10 +1287,17 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       ++result.scheduler_invocations;
 
       if (tracer != nullptr) {
+        // The "round" arg is the cross-link into the decision log (and
+        // equals the scheduler-invocation ordinal when no log is wired,
+        // so the trace is byte-identical either way for the same run).
+        const std::int64_t round_id = decisions != nullptr
+                                          ? decisions->current_round()
+                                          : result.scheduler_invocations;
         tracer->instant_at(
             to_us(now), "round", "sched", obs::kSchedulerTrack, 0,
             obs::TraceArgs("queue", static_cast<double>(queue.size()),
-                           "groups", static_cast<double>(plan.size())));
+                           "groups", static_cast<double>(plan.size()), "round",
+                           static_cast<double>(round_id)));
       }
 
       apply_plan(plan);

@@ -37,6 +37,7 @@
 #include "scheduler/scheduler.h"
 
 namespace muri::obs {
+class DecisionLog;
 class MetricsRegistry;
 class Tracer;
 }  // namespace muri::obs
@@ -113,6 +114,15 @@ struct SimOptions {
   // the per-run deltas back out at finalize.
   obs::Tracer* tracer = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Decision provenance sink (src/obs/provenance): the simulator records
+  // the outcome side of every plan — placements with machines chosen,
+  // skipped groups with cause, preempt/restart/evict/fault events, and
+  // degraded-group continuations — stamped with the scheduler's round id.
+  // The same sink is also attached to the scheduler (set_decision_log) by
+  // run_simulation, so one log carries both halves of a round's story.
+  // Null (the default) disables all of it; SimResult is bit-identical
+  // either way.
+  obs::DecisionLog* decisions = nullptr;
 };
 
 // Per-job completion-time decomposition (the "JCT breakdown" of the
@@ -175,8 +185,6 @@ struct SimResult {
   double avg_group_gamma_realized = 0;
   // Window-weighted mean of (realized − predicted) over retired groups.
   double avg_group_gamma_error = 0;
-  [[deprecated("renamed to avg_group_gamma_predicted")]]
-  double avg_group_gamma() const { return avg_group_gamma_predicted; }
 
   // Realized busy seconds per resource summed over machines (the totals
   // behind the `muri_resource_busy_seconds` counters).

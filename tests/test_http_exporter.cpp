@@ -1,6 +1,7 @@
 // Loopback tests for the /metrics HTTP exporter: a real client socket
 // against the real server thread — Prometheus text at /metrics, JSON at
-// /metrics.json, 404/405 handling, ephemeral-port binding, and graceful
+// /metrics.json, liveness at /healthz, 404/405 handling (with accurate
+// Content-Length), ephemeral-port binding, and graceful
 // stop/restart.
 #include <gtest/gtest.h>
 
@@ -9,6 +10,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <string>
 
 #include "obs/http_exporter.h"
@@ -56,6 +58,13 @@ std::string body_of(const std::string& response) {
   const std::size_t split = response.find("\r\n\r\n");
   return split == std::string::npos ? std::string()
                                     : response.substr(split + 4);
+}
+
+// The declared Content-Length, or -1 when the header is missing.
+long content_length_of(const std::string& response) {
+  const std::size_t pos = response.find("Content-Length: ");
+  if (pos == std::string::npos) return -1;
+  return std::strtol(response.c_str() + pos + 16, nullptr, 10);
 }
 
 TEST(HttpExporter, ServesPrometheusTextOnMetrics) {
@@ -107,12 +116,30 @@ TEST(HttpExporter, ServesJsonSnapshot) {
   exporter.stop();
 }
 
+TEST(HttpExporter, ServesHealthz) {
+  // The liveness probe must answer without touching the registry, so an
+  // empty one is the interesting case.
+  MetricsRegistry registry;
+  HttpExporter exporter(registry);
+  ASSERT_TRUE(exporter.start(0, nullptr));
+  const std::string response = http_get(exporter.port(), "/healthz");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain"), std::string::npos);
+  EXPECT_EQ(body_of(response), "ok\n");
+  EXPECT_EQ(content_length_of(response), 3);
+  exporter.stop();
+}
+
 TEST(HttpExporter, RejectsUnknownPathsAndMethods) {
   MetricsRegistry registry;
   HttpExporter exporter(registry);
   ASSERT_TRUE(exporter.start(0, nullptr));
-  EXPECT_NE(http_get(exporter.port(), "/nope").find("404 Not Found"),
-            std::string::npos);
+  const std::string response = http_get(exporter.port(), "/nope");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos);
+  // The 404 path declares the body it actually sends, like every route.
+  EXPECT_EQ(content_length_of(response),
+            static_cast<long>(body_of(response).size()));
+  EXPECT_GT(body_of(response).size(), 0u);
   EXPECT_NE(http_request(exporter.port(),
                          "POST /metrics HTTP/1.1\r\n\r\n")
                 .find("405 Method Not Allowed"),

@@ -2,6 +2,8 @@
 // scheduler's plan construction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <set>
 
 #include "common/rng.h"
@@ -129,6 +131,63 @@ TEST(MultiRoundGrouping, ThreadedGroupingIsBitIdenticalToSerial) {
           EXPECT_EQ(stats.cache_hits, serial_stats.cache_hits);
           EXPECT_EQ(stats.cache_misses, serial_stats.cache_misses);
           EXPECT_EQ(stats.matchings_run, serial_stats.matchings_run);
+        }
+      }
+    }
+  }
+}
+
+std::vector<std::vector<int>> canonical_groups(
+    std::vector<std::vector<int>> groups) {
+  for (auto& g : groups) std::sort(g.begin(), g.end());
+  std::sort(groups.begin(), groups.end());
+  return groups;
+}
+
+TEST(MultiRoundGrouping, InsertionOrderDoesNotChangeGroups) {
+  // Permuting the order jobs are presented in must not change which jobs
+  // end up grouped together: edge weights travel with the jobs, not their
+  // slots, so a unique-optimum matching lands on the same partition. Each
+  // profile is scaled by a distinct factor so no two pairwise γs tie
+  // (ties would make the optimum genuinely ambiguous).
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    auto profiles = zoo_profiles(24, seed);
+    const int n = static_cast<int>(profiles.size());
+    for (int i = 0; i < n; ++i) {
+      for (auto& t : profiles[static_cast<size_t>(i)]) {
+        t *= 1.0 + 0.013 * static_cast<double>(i);
+      }
+    }
+    for (int max_size : {2, 4}) {
+      const auto baseline =
+          canonical_groups(multi_round_grouping(profiles, max_size));
+
+      Rng rng(seed * 1000 + static_cast<std::uint64_t>(max_size));
+      for (int trial = 0; trial < 3; ++trial) {
+        // Fisher-Yates: shuffled slot i holds original job perm[i].
+        std::vector<int> perm(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) perm[static_cast<size_t>(i)] = i;
+        for (int i = n - 1; i > 0; --i) {
+          std::swap(perm[static_cast<size_t>(i)],
+                    perm[static_cast<size_t>(rng.uniform_int(0, i))]);
+        }
+        std::vector<ResourceVector> shuffled(static_cast<size_t>(n));
+        for (int i = 0; i < n; ++i) {
+          shuffled[static_cast<size_t>(i)] =
+              profiles[static_cast<size_t>(perm[static_cast<size_t>(i)])];
+        }
+
+        for (int workers : {0, 3}) {  // serial and 4-way pool
+          std::unique_ptr<ThreadPool> pool;
+          if (workers > 0) pool = std::make_unique<ThreadPool>(workers);
+          auto groups =
+              multi_round_grouping(shuffled, max_size, pool.get(), nullptr);
+          for (auto& g : groups) {
+            for (int& idx : g) idx = perm[static_cast<size_t>(idx)];
+          }
+          EXPECT_EQ(canonical_groups(std::move(groups)), baseline)
+              << "seed=" << seed << " k=" << max_size << " trial=" << trial
+              << " workers=" << workers;
         }
       }
     }

@@ -1,0 +1,489 @@
+// Decision provenance (src/obs/provenance): the DecisionLog record
+// format, the JSONL parser/validator, the explain queries, and the
+// instrumentation contract — attaching a log never changes a plan or a
+// SimResult, and fixed-seed logs are byte-identical across runs and
+// thread counts.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "job/model.h"
+#include "obs/provenance.h"
+#include "runtime/executor.h"
+#include "scheduler/baselines.h"
+#include "scheduler/muri.h"
+#include "sim/simulator.h"
+
+namespace muri {
+namespace {
+
+using obs::DecisionLog;
+using obs::DecisionRecord;
+
+// ---------------------------------------------------------------------------
+// DecisionLog mechanics: record bytes, rounds, dump shape.
+
+TEST(DecisionLog, EmitsOneJsonObjectPerLine) {
+  DecisionLog log;
+  EXPECT_EQ(log.current_round(), 0);
+  EXPECT_EQ(log.begin_round(), 1);
+  log.entry("round_start")
+      .str("scheduler", "Muri-L")
+      .str("policy", "2D-LAS")
+      .integer("queue", 3)
+      .integer("capacity", 8);
+  log.entry("group")
+      .ids("jobs", {4, 7})
+      .integer("gpus", 2)
+      .str("mode", "interleaved")
+      .num("gamma", 0.5)
+      .raw("admitted", "true");
+  EXPECT_EQ(log.records(), 2);
+  EXPECT_EQ(log.jsonl(),
+            "{\"type\":\"round_start\",\"round\":1,\"scheduler\":\"Muri-L\","
+            "\"policy\":\"2D-LAS\",\"queue\":3,\"capacity\":8}\n"
+            "{\"type\":\"group\",\"round\":1,\"jobs\":[4,7],\"gpus\":2,"
+            "\"mode\":\"interleaved\",\"gamma\":0.5,\"admitted\":true}\n");
+  EXPECT_EQ(log.begin_round(), 2);
+  log.entry("round_end").integer("groups", 0);
+  EXPECT_NE(log.jsonl().find("{\"type\":\"round_end\",\"round\":2"),
+            std::string::npos);
+  log.clear();
+  EXPECT_EQ(log.records(), 0);
+  EXPECT_EQ(log.current_round(), 0);
+}
+
+TEST(DecisionLog, NumberFormattingIsByteStable) {
+  std::string out;
+  obs::append_json_double(out, 3.0);
+  out += ' ';
+  obs::append_json_double(out, -17.0);
+  out += ' ';
+  obs::append_json_double(out, 0.5);
+  EXPECT_EQ(out, "3 -17 0.5");
+  // Non-representable decimals round-trip through %.17g identically on
+  // every run — the property byte-stability rests on.
+  std::string a, b;
+  obs::append_json_double(a, 0.1 + 0.2);
+  obs::append_json_double(b, 0.1 + 0.2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DecisionLog, EscapesStrings) {
+  DecisionLog log;
+  log.begin_round();
+  log.entry("deferred").ids("jobs", {1}).str("reason", "a\"b\\c\nd");
+  EXPECT_NE(log.jsonl().find("\"reason\":\"a\\\"b\\\\c\\nd\""),
+            std::string::npos);
+  EXPECT_TRUE(obs::validate_decision_log(log.jsonl()));
+}
+
+// ---------------------------------------------------------------------------
+// Parse + validate.
+
+TEST(DecisionLog, ValidatorAcceptsItsOwnOutputAndRejectsGarbage) {
+  DecisionLog log;
+  log.begin_round();
+  log.entry("placement")
+      .num("t", 360)
+      .ids("jobs", {0, 1})
+      .integer("gpus", 2)
+      .str("mode", "interleaved")
+      .ints("machines", {0})
+      .integer("owner", 0);
+  std::string error;
+  EXPECT_TRUE(obs::validate_decision_log(log.jsonl(), &error)) << error;
+
+  EXPECT_FALSE(obs::validate_decision_log("{not json}\n", &error));
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+
+  // Well-formed JSON, wrong shape: missing "round".
+  EXPECT_FALSE(
+      obs::validate_decision_log("{\"type\":\"placement\"}\n", &error));
+  EXPECT_NE(error.find("round"), std::string::npos);
+
+  // Known type missing a required field.
+  EXPECT_FALSE(obs::validate_decision_log(
+      "{\"type\":\"group\",\"round\":1,\"jobs\":[1]}\n", &error));
+  EXPECT_NE(error.find("group"), std::string::npos);
+
+  // Unknown types are forward-compatible.
+  EXPECT_TRUE(obs::validate_decision_log(
+      "{\"type\":\"future_thing\",\"round\":2,\"extra\":[1,2]}\n", &error))
+      << error;
+}
+
+TEST(DecisionLog, ParserKeepsRawLinesAndSkipsBlanks) {
+  std::vector<DecisionRecord> records;
+  const std::string dump =
+      "{\"type\":\"round_end\",\"round\":1,\"groups\":0,\"admitted\":0,"
+      "\"rejected\":0}\n\n"
+      "{\"type\":\"fault\",\"round\":1,\"t\":5,\"job\":3,\"reason\":\"x\"}\n";
+  ASSERT_TRUE(obs::parse_decision_log(dump, records));
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].raw,
+            "{\"type\":\"fault\",\"round\":1,\"t\":5,\"job\":3,"
+            "\"reason\":\"x\"}");
+  EXPECT_EQ(records[1].value.at("job").number, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler instrumentation.
+
+std::vector<JobView> contended_queue(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<JobView> queue;
+  for (int i = 0; i < n; ++i) {
+    JobView v;
+    v.id = i;
+    v.num_gpus = 1;
+    v.submit_time = rng.uniform(0, 500);
+    v.attained_service = rng.uniform(0, 2000);
+    v.remaining_time = rng.uniform(10, 3000);
+    v.measured = model_profile(
+        kAllModels[static_cast<size_t>(rng.uniform_int(0, kNumModels - 1))],
+        1);
+    queue.push_back(v);
+  }
+  return queue;
+}
+
+bool same_plan(const std::vector<PlannedGroup>& a,
+               const std::vector<PlannedGroup>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].members != b[i].members || a[i].num_gpus != b[i].num_gpus ||
+        a[i].mode != b[i].mode || a[i].slots != b[i].slots ||
+        a[i].offsets != b[i].offsets ||
+        a[i].planned_period != b[i].planned_period) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int count_type(const std::vector<DecisionRecord>& records,
+               const std::string& type) {
+  int n = 0;
+  for (const auto& r : records) {
+    if (r.value.at("type").string == type) ++n;
+  }
+  return n;
+}
+
+TEST(Provenance, MuriRoundLogsTheWholeStoryWithoutChangingThePlan) {
+  const auto queue = contended_queue(24, 7);
+  SchedulerContext ctx;
+  ctx.total_gpus = 8;
+  ctx.gpus_per_machine = 8;
+
+  MuriScheduler bare{MuriOptions{}};
+  const auto want = bare.schedule(queue, ctx);
+
+  DecisionLog log;
+  MuriOptions opt;
+  opt.decisions = &log;
+  MuriScheduler logged(opt);
+  const auto got = logged.schedule(queue, ctx);
+  EXPECT_TRUE(same_plan(want, got));
+
+  std::string error;
+  ASSERT_TRUE(obs::validate_decision_log(log.jsonl(), &error)) << error;
+  std::vector<DecisionRecord> records;
+  ASSERT_TRUE(obs::parse_decision_log(log.jsonl(), records));
+
+  EXPECT_EQ(count_type(records, "round_start"), 1);
+  EXPECT_EQ(count_type(records, "priority"), 1);
+  EXPECT_GE(count_type(records, "bucket"), 1);
+  EXPECT_GE(count_type(records, "match_round"), 1);
+  EXPECT_GE(count_type(records, "group"), 1);
+  EXPECT_EQ(count_type(records, "round_end"), 1);
+
+  // The matching evidence must include rejected alternatives: a complete
+  // γ graph over b candidates has ~b²/2 edges and at most b/2 can win.
+  bool saw_rejected_edge = false;
+  for (const auto& r : records) {
+    if (r.value.at("type").string != "match_round") continue;
+    EXPECT_GE(r.value.at("nodes").array.size(), 2u);
+    if (r.value.at("edges").array.size() > r.value.at("matched").array.size()) {
+      saw_rejected_edge = true;
+    }
+  }
+  EXPECT_TRUE(saw_rejected_edge);
+
+  // At least one admitted multi-member group, and its jobs appear in the
+  // emitted plan as a group.
+  bool saw_multi = false;
+  for (const auto& r : records) {
+    if (r.value.at("type").string != "group") continue;
+    if (r.value.at("jobs").array.size() > 1 && r.value.at("admitted").boolean) {
+      saw_multi = true;
+      EXPECT_GT(r.value.at("gamma").number, 0.0);
+    }
+  }
+  EXPECT_TRUE(saw_multi);
+}
+
+TEST(Provenance, MuriLogIsByteStableAcrossRunsAndThreadCounts) {
+  const auto queue = contended_queue(40, 11);
+  SchedulerContext ctx;
+  ctx.total_gpus = 8;
+  ctx.gpus_per_machine = 8;
+
+  const auto dump_with_threads = [&](int threads) {
+    DecisionLog log;
+    MuriOptions opt;
+    opt.num_threads = threads;
+    opt.decisions = &log;
+    MuriScheduler s(opt);
+    s.schedule(queue, ctx);
+    s.schedule(queue, ctx);  // two rounds: round ids must advance too
+    return log.jsonl();
+  };
+  const std::string serial = dump_with_threads(1);
+  EXPECT_EQ(serial, dump_with_threads(1));  // run-to-run
+  EXPECT_EQ(serial, dump_with_threads(4));  // thread-count invariance
+  EXPECT_NE(serial.find("\"round\":2"), std::string::npos);
+}
+
+TEST(Provenance, BaselineRoundsLogPriorityAndAdmission) {
+  const auto queue = contended_queue(12, 3);
+  SchedulerContext ctx;
+  ctx.total_gpus = 4;
+  ctx.gpus_per_machine = 4;
+
+  DecisionLog log;
+  FifoScheduler fifo;
+  fifo.set_decision_log(&log);
+  const auto plan = fifo.schedule(queue, ctx);
+  EXPECT_FALSE(plan.empty());
+
+  std::string error;
+  ASSERT_TRUE(obs::validate_decision_log(log.jsonl(), &error)) << error;
+  std::vector<DecisionRecord> records;
+  ASSERT_TRUE(obs::parse_decision_log(log.jsonl(), records));
+  EXPECT_EQ(count_type(records, "round_start"), 1);
+  EXPECT_EQ(count_type(records, "priority"), 1);
+  EXPECT_EQ(count_type(records, "round_end"), 1);
+  // 12 one-GPU jobs on 4 GPUs: groups beyond the budget are rejections.
+  int rejected = 0;
+  for (const auto& r : records) {
+    if (r.value.at("type").string == "group" &&
+        !r.value.at("admitted").boolean) {
+      ++rejected;
+      EXPECT_EQ(r.value.at("reason").string, "gpu_budget");
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  for (const auto& r : records) {
+    if (r.value.at("type").string == "round_start") {
+      EXPECT_EQ(r.value.at("policy").string, "FIFO");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator instrumentation.
+
+Job sim_job(JobId id, ModelKind m, Time submit, double solo_secs) {
+  Job j;
+  j.id = id;
+  j.model = m;
+  j.num_gpus = 1;
+  j.submit_time = submit;
+  j.profile = model_profile(m, 1);
+  j.iterations = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(solo_secs / j.profile.iteration_time()));
+  return j;
+}
+
+Trace contended_trace() {
+  Trace t;
+  t.name = "provenance";
+  for (int i = 0; i < 8; ++i) {
+    t.jobs.push_back(sim_job(i, kAllModels[static_cast<size_t>(i) % 8],
+                             i * 30.0, 900));
+  }
+  return t;
+}
+
+SimOptions tiny_cluster() {
+  SimOptions opt;
+  opt.cluster.num_machines = 1;
+  opt.cluster.gpus_per_machine = 2;
+  opt.schedule_interval = 60;
+  opt.restart_penalty = 5;
+  return opt;
+}
+
+TEST(Provenance, SimResultIsBitIdenticalWithAndWithoutLog) {
+  const Trace t = contended_trace();
+
+  MuriScheduler bare{MuriOptions{}};
+  const SimResult want = run_simulation(t, bare, tiny_cluster());
+
+  DecisionLog log;
+  SimOptions opt = tiny_cluster();
+  opt.decisions = &log;
+  MuriScheduler logged{MuriOptions{}};
+  const SimResult got = run_simulation(t, logged, opt);
+
+  EXPECT_EQ(want.avg_jct, got.avg_jct);
+  EXPECT_EQ(want.p99_jct, got.p99_jct);
+  EXPECT_EQ(want.makespan, got.makespan);
+  EXPECT_EQ(want.jcts, got.jcts);
+  EXPECT_EQ(want.finished_jobs, got.finished_jobs);
+  EXPECT_EQ(want.restarts, got.restarts);
+  EXPECT_EQ(want.avg_group_gamma_predicted, got.avg_group_gamma_predicted);
+  EXPECT_EQ(want.avg_group_gamma_realized, got.avg_group_gamma_realized);
+  EXPECT_EQ(want.scheduler_invocations, got.scheduler_invocations);
+
+  // The log itself carries both halves of the story: scheduler records
+  // (the simulator attaches the sink to the scheduler) and outcome
+  // records with simulated timestamps.
+  std::string error;
+  ASSERT_TRUE(obs::validate_decision_log(log.jsonl(), &error)) << error;
+  std::vector<DecisionRecord> records;
+  ASSERT_TRUE(obs::parse_decision_log(log.jsonl(), records));
+  EXPECT_GE(count_type(records, "round_start"),
+            static_cast<int>(want.scheduler_invocations));
+  EXPECT_GE(count_type(records, "placement"), 1);
+  EXPECT_GE(count_type(records, "restart") + count_type(records, "preempt"),
+            static_cast<int>(want.restarts) > 0 ? 1 : 0);
+}
+
+TEST(Provenance, SimulatorLogIsByteStableAtFixedSeed) {
+  const Trace t = contended_trace();
+  const auto dump_once = [&] {
+    DecisionLog log;
+    SimOptions opt = tiny_cluster();
+    opt.decisions = &log;
+    MuriScheduler s{MuriOptions{}};
+    run_simulation(t, s, opt);
+    return log.jsonl();
+  };
+  EXPECT_EQ(dump_once(), dump_once());
+}
+
+// ---------------------------------------------------------------------------
+// Explain queries.
+
+TEST(Provenance, ExplainJobReconstructsGroupingEvidence) {
+  const Trace t = contended_trace();
+  DecisionLog log;
+  SimOptions opt = tiny_cluster();
+  opt.decisions = &log;
+  MuriScheduler s{MuriOptions{}};
+  run_simulation(t, s, opt);
+
+  std::vector<DecisionRecord> records;
+  ASSERT_TRUE(obs::parse_decision_log(log.jsonl(), records));
+
+  // Pick a job from an admitted multi-member group, remembering the round
+  // the grouping decision was made in.
+  std::int64_t job = -1;
+  std::int64_t grouped_round = -1;
+  for (const auto& r : records) {
+    if (r.value.at("type").string == "group" &&
+        r.value.at("jobs").array.size() > 1 &&
+        r.value.at("admitted").boolean) {
+      job = static_cast<std::int64_t>(r.value.at("jobs").array[0].number);
+      grouped_round = static_cast<std::int64_t>(r.value.at("round").number);
+      break;
+    }
+  }
+  ASSERT_GE(job, 0) << "no multi-member group formed";
+
+  const std::string text = obs::explain_job_text(records, job);
+  ASSERT_FALSE(text.empty());
+  // The reconstruction names the round the job was grouped in, the score,
+  // the winning merge with its γ, and a rejected alternative pairing.
+  EXPECT_NE(text.find("round " + std::to_string(grouped_round) + ":"),
+            std::string::npos);
+  EXPECT_NE(text.find("queued at position"), std::string::npos);
+  EXPECT_NE(text.find("merged"), std::string::npos);
+  EXPECT_NE(text.find("rejected"), std::string::npos);
+  EXPECT_NE(text.find("gamma="), std::string::npos);
+  EXPECT_NE(text.find("group admitted"), std::string::npos);
+
+  const std::string json = obs::explain_job_json(records, job);
+  ASSERT_FALSE(json.empty());
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(json, root, &err)) << err;
+  EXPECT_EQ(static_cast<std::int64_t>(root.at("job").number), job);
+  EXPECT_GE(root.at("rounds").array.size(), 1u);
+
+  // Queries for ids the log never saw return "".
+  EXPECT_TRUE(obs::explain_job_text(records, 424242).empty());
+  EXPECT_TRUE(obs::explain_job_json(records, 424242).empty());
+}
+
+TEST(Provenance, ExplainRoundRendersEveryRecordOfTheRound) {
+  const Trace t = contended_trace();
+  DecisionLog log;
+  SimOptions opt = tiny_cluster();
+  opt.decisions = &log;
+  MuriScheduler s{MuriOptions{}};
+  run_simulation(t, s, opt);
+
+  std::vector<DecisionRecord> records;
+  ASSERT_TRUE(obs::parse_decision_log(log.jsonl(), records));
+
+  const std::string text = obs::explain_round_text(records, 1);
+  ASSERT_FALSE(text.empty());
+  EXPECT_NE(text.find("round 1 decisions"), std::string::npos);
+  EXPECT_NE(text.find("queue of"), std::string::npos);
+
+  const std::string json = obs::explain_round_json(records, 1);
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(json, root, &err)) << err;
+  EXPECT_EQ(root.at("round").number, 1);
+  std::int64_t in_round_1 = 0;
+  for (const auto& r : records) {
+    if (static_cast<std::int64_t>(r.value.at("round").number) == 1) {
+      ++in_round_1;
+    }
+  }
+  EXPECT_EQ(static_cast<std::int64_t>(root.at("records").array.size()),
+            in_round_1);
+
+  EXPECT_TRUE(obs::explain_round_text(records, 999999).empty());
+  EXPECT_TRUE(obs::explain_round_json(records, 999999).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Executor instrumentation.
+
+TEST(Provenance, ExecutorRecordsGroupWindows) {
+  DecisionLog log;
+  runtime::ExecOptions opt;
+  opt.time_scale = 0.001;
+  opt.run_for = 0.05;
+  opt.decisions = &log;
+  std::vector<runtime::ExecJobSpec> jobs(2);
+  jobs[0].name = "a";
+  jobs[0].profile = {0.5, 0.1, 0.1, 0.1};
+  jobs[0].offset = 0;
+  jobs[1].name = "b";
+  jobs[1].profile = {0.1, 0.5, 0.1, 0.1};
+  jobs[1].offset = 1;
+  runtime::run_group(jobs, opt);
+
+  std::string error;
+  ASSERT_TRUE(obs::validate_decision_log(log.jsonl(), &error)) << error;
+  std::vector<DecisionRecord> records;
+  ASSERT_TRUE(obs::parse_decision_log(log.jsonl(), records));
+  ASSERT_EQ(count_type(records, "exec_group"), 1);
+  ASSERT_EQ(count_type(records, "exec_result"), 1);
+  EXPECT_EQ(records[0].value.at("names").array[0].string, "a");
+  EXPECT_EQ(records[0].value.at("mode").string, "coordinated");
+  EXPECT_GE(records.back().value.at("gamma").number, 0.0);
+}
+
+}  // namespace
+}  // namespace muri

@@ -1,4 +1,5 @@
-// muri-report — utilization analytics over exported Chrome traces.
+// muri-report — utilization analytics over exported Chrome traces, plus
+// provenance queries over decision logs.
 //
 // Ingests one or more --trace-out files (from the simulator benches, the
 // live executor, or examples/live_interleave) and prints per-resource
@@ -9,10 +10,18 @@
 //   muri-report --format=csv a.json b.json        # one section per table
 //   muri-report --format=json --out=report.json trace.json
 //
-// Exit status: 0 on success, 1 on usage/IO/parse errors, 2 when a trace
-// parses but contains nothing to report (empty tables) — so CI can fail a
-// run whose instrumentation silently vanished.
+// The explain subcommands answer "why" questions against a
+// --decisions-out JSONL dump (see src/obs/provenance.h):
+//
+//   muri-report explain-job 42 decisions.jsonl    # one job's full history
+//   muri-report explain-round 3 --format=json decisions.jsonl
+//
+// Exit status: 0 on success, 1 on usage/IO/parse/schema errors, 2 when
+// the input parses but yields nothing to report (empty tables, or an
+// explain query matching no record) — so CI can fail a run whose
+// instrumentation silently vanished.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -22,23 +31,48 @@
 
 #include "obs/analysis.h"
 #include "obs/json.h"
+#include "obs/provenance.h"
 
 namespace {
 
 enum class Format { kText, kCsv, kJson };
 
+enum class Mode { kTraceReport, kExplainJob, kExplainRound };
+
 struct Options {
   Format format = Format::kText;
+  Mode mode = Mode::kTraceReport;
+  std::int64_t explain_id = 0;  // job id or round number
   std::string out_path;
-  std::vector<std::string> traces;
+  std::vector<std::string> traces;  // trace files, or the decisions file
 };
 
 void usage(std::ostream& os) {
   os << "usage: muri-report [--format=text|csv|json] [--out=FILE] "
-        "TRACE.json [TRACE.json ...]\n";
+        "TRACE.json [TRACE.json ...]\n"
+        "       muri-report explain-job ID [--format=text|json] [--out=FILE] "
+        "DECISIONS.jsonl\n"
+        "       muri-report explain-round N [--format=text|json] [--out=FILE] "
+        "DECISIONS.jsonl\n";
+}
+
+bool parse_int64(std::string_view text, std::int64_t& out) {
+  if (text.empty()) return false;
+  std::int64_t value = 0;
+  std::size_t i = 0;
+  const bool negative = text[0] == '-';
+  if (negative) i = 1;
+  if (i == text.size()) return false;
+  for (; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') return false;
+    value = value * 10 + (text[i] - '0');
+  }
+  out = negative ? -value : value;
+  return true;
 }
 
 bool parse_args(int argc, char** argv, Options& opts) {
+  std::vector<std::string_view> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -62,9 +96,35 @@ bool parse_args(int argc, char** argv, Options& opts) {
       std::cerr << "muri-report: unknown flag '" << arg << "'\n";
       return false;
     } else {
-      opts.traces.emplace_back(arg);
+      positional.emplace_back(arg);
     }
   }
+
+  // An explain subcommand claims the first two positionals; everything
+  // after is input files (exactly one decisions dump).
+  if (!positional.empty() &&
+      (positional[0] == "explain-job" || positional[0] == "explain-round")) {
+    opts.mode = positional[0] == "explain-job" ? Mode::kExplainJob
+                                               : Mode::kExplainRound;
+    if (positional.size() < 2 || !parse_int64(positional[1], opts.explain_id)) {
+      std::cerr << "muri-report: " << positional[0]
+                << " needs an integer argument\n";
+      return false;
+    }
+    positional.erase(positional.begin(), positional.begin() + 2);
+    if (opts.format == Format::kCsv) {
+      std::cerr << "muri-report: explain output is text or json, not csv\n";
+      return false;
+    }
+    if (positional.size() != 1) {
+      std::cerr << "muri-report: " << (opts.mode == Mode::kExplainJob
+                                           ? "explain-job"
+                                           : "explain-round")
+                << " takes exactly one DECISIONS.jsonl file\n";
+      return false;
+    }
+  }
+  for (const std::string_view p : positional) opts.traces.emplace_back(p);
   if (opts.traces.empty()) {
     usage(std::cerr);
     return false;
@@ -96,11 +156,66 @@ bool read_file(const std::string& path, std::string& out) {
   return true;
 }
 
+// Prints `output` to --out or stdout; false on I/O failure.
+bool emit_output(const Options& opts, const std::string& output) {
+  if (!opts.out_path.empty()) {
+    std::ofstream out(opts.out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "muri-report: cannot write " << opts.out_path << '\n';
+      return false;
+    }
+    out << output;
+    return true;
+  }
+  std::cout << output;
+  return true;
+}
+
+int run_explain(const Options& opts) {
+  const std::string& path = opts.traces.front();
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "muri-report: cannot read " << path << '\n';
+    return 1;
+  }
+  std::string error;
+  // Validate first: a malformed dump should fail loudly, not produce a
+  // partial explanation.
+  if (!muri::obs::validate_decision_log(text, &error)) {
+    std::cerr << "muri-report: " << path << ": " << error << '\n';
+    return 1;
+  }
+  std::vector<muri::obs::DecisionRecord> records;
+  if (!muri::obs::parse_decision_log(text, records, &error)) {
+    std::cerr << "muri-report: " << path << ": " << error << '\n';
+    return 1;
+  }
+
+  std::string output;
+  if (opts.mode == Mode::kExplainJob) {
+    output = opts.format == Format::kJson
+                 ? muri::obs::explain_job_json(records, opts.explain_id)
+                 : muri::obs::explain_job_text(records, opts.explain_id);
+  } else {
+    output = opts.format == Format::kJson
+                 ? muri::obs::explain_round_json(records, opts.explain_id)
+                 : muri::obs::explain_round_text(records, opts.explain_id);
+  }
+  if (output.empty()) {
+    std::cerr << "muri-report: no record of "
+              << (opts.mode == Mode::kExplainJob ? "job " : "round ")
+              << opts.explain_id << " in " << path << '\n';
+    return 2;
+  }
+  return emit_output(opts, output) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return 1;
+  if (opts.mode != Mode::kTraceReport) return run_explain(opts);
 
   std::string output;
   bool any_content = false;
@@ -153,16 +268,7 @@ int main(int argc, char** argv) {
 
   if (opts.format == Format::kJson) output += "]}\n";
 
-  if (!opts.out_path.empty()) {
-    std::ofstream out(opts.out_path, std::ios::binary);
-    if (!out) {
-      std::cerr << "muri-report: cannot write " << opts.out_path << '\n';
-      return 1;
-    }
-    out << output;
-  } else {
-    std::cout << output;
-  }
+  if (!emit_output(opts, output)) return 1;
 
   if (!any_content) {
     std::cerr << "muri-report: no spans, groups, or jobs found in "
