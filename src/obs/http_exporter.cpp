@@ -5,8 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "obs/metrics.h"
 
@@ -46,23 +49,37 @@ bool HttpExporter::start(int port, std::string* error) {
     if (error != nullptr) *error = "exporter already running";
     return false;
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    if (error != nullptr) *error = std::strerror(errno);
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  int fd = -1;
+  int backoff_ms = bind_backoff_ms_;
+  for (int attempt = 1;; ++attempt) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (error != nullptr) *error = std::strerror(errno);
+      return false;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 8) < 0) {
-    if (error != nullptr) *error = std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) ==
+            0 &&
+        ::listen(fd, 8) == 0) {
+      break;
+    }
+    const int bind_errno = errno;
     ::close(fd);
-    return false;
+    fd = -1;
+    // Only a port held by someone else is worth waiting out; it clears
+    // when the previous owner exits or its socket leaves TIME_WAIT.
+    if (bind_errno != EADDRINUSE || attempt >= bind_attempts_) {
+      if (error != nullptr) *error = std::strerror(bind_errno);
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min(backoff_ms * 2, 1000);
   }
   // Resolve the ephemeral port for port=0 binds.
   sockaddr_in bound{};

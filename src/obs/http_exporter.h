@@ -38,8 +38,19 @@ class HttpExporter {
 
   // Binds 127.0.0.1:port (0 = ephemeral) and starts the serving thread.
   // Returns false with a message in `error` on socket failures or if
-  // already running.
+  // already running. A port held by another process (EADDRINUSE — the
+  // usual race when a daemon restarts before the old socket leaves
+  // TIME_WAIT) is retried with doubling backoff, bounded by
+  // set_bind_retry; other bind failures are immediate.
   bool start(int port, std::string* error);
+
+  // Tunes the EADDRINUSE retry budget: total bind attempts (>= 1) and
+  // the initial backoff between them (doubling, capped at 1s). Defaults:
+  // 5 attempts from 50ms, ~1.5s worst case. Call before start().
+  void set_bind_retry(int attempts, int initial_backoff_ms) {
+    bind_attempts_ = attempts > 0 ? attempts : 1;
+    bind_backoff_ms_ = initial_backoff_ms > 0 ? initial_backoff_ms : 1;
+  }
 
   // Shuts the listener down and joins the serving thread. Idempotent.
   void stop();
@@ -58,6 +69,8 @@ class HttpExporter {
   // iteration), so stop() can retire the socket race-free.
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
+  int bind_attempts_ = 5;
+  int bind_backoff_ms_ = 50;
 };
 
 }  // namespace muri::obs

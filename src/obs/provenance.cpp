@@ -200,18 +200,26 @@ void DecisionLog::clear() {
   round_.store(0, std::memory_order_relaxed);
 }
 
+void DecisionLog::set_sink(Sink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = sink;
+}
+
 void DecisionLog::append(std::string line) {
   std::lock_guard<std::mutex> lock(mu_);
   lines_.push_back(std::move(line));
+  if (sink_ != nullptr) sink_->on_record(lines_.back());
 }
 
 bool parse_decision_log(std::string_view jsonl,
                         std::vector<DecisionRecord>& out,
-                        std::string* error) {
+                        std::string* error, std::string* tail_warning) {
   out.clear();
+  if (tail_warning != nullptr) tail_warning->clear();
   std::size_t pos = 0;
   std::int64_t line_no = 0;
   while (pos < jsonl.size()) {
+    const std::size_t line_start = pos;
     std::size_t eol = jsonl.find('\n', pos);
     if (eol == std::string_view::npos) eol = jsonl.size();
     const std::string_view line = jsonl.substr(pos, eol - pos);
@@ -221,6 +229,15 @@ bool parse_decision_log(std::string_view jsonl,
     DecisionRecord rec;
     std::string parse_error;
     if (!parse_json(line, rec.value, &parse_error)) {
+      // A broken *final* line is the signature of an append cut short by
+      // a crash; callers that pass tail_warning keep the valid prefix.
+      if (tail_warning != nullptr &&
+          jsonl.find_first_not_of(" \t\r\n", pos) == std::string_view::npos) {
+        *tail_warning = "truncated or garbled final line " +
+                        std::to_string(line_no) + " dropped at byte offset " +
+                        std::to_string(line_start) + ": " + parse_error;
+        return true;
+      }
       if (error != nullptr) {
         *error = "line " + std::to_string(line_no) + ": " + parse_error;
       }
@@ -341,6 +358,24 @@ bool check_record_schema(const JsonValue& rec, const std::string& type,
       {"t", 'n'}, {"jobs", 'i'}, {"gamma", 'n'}};
   static const FieldSpec kExecGroup[] = {{"names", 'S'}, {"slots", 'n'}};
   static const FieldSpec kExecResult[] = {{"names", 'S'}, {"gamma", 'n'}};
+  static const FieldSpec kSimStart[] = {{"t", 'n'},
+                                        {"jobs", 'n'},
+                                        {"machines", 'n'},
+                                        {"gpus", 'n'},
+                                        {"interval", 'n'}};
+  static const FieldSpec kArrival[] = {{"t", 'n'}, {"job", 'n'}, {"gpus", 'n'}};
+  static const FieldSpec kMachineEvent[] = {{"t", 'n'}, {"machine", 'n'}};
+  static const FieldSpec kFinish[] = {{"t", 'n'},
+                                      {"job", 'n'},
+                                      {"jct", 'n'},
+                                      {"queueing", 'n'},
+                                      {"running", 'n'},
+                                      {"restart_overhead", 'n'},
+                                      {"preemptions", 'n'}};
+  static const FieldSpec kSimEnd[] = {{"t", 'n'},
+                                      {"makespan", 'n'},
+                                      {"finished", 'n'},
+                                      {"unfinished", 'n'}};
 
   struct Schema {
     const char* type;
@@ -364,6 +399,12 @@ bool check_record_schema(const JsonValue& rec, const std::string& type,
       {"degraded_continue", kDegraded, std::size(kDegraded)},
       {"exec_group", kExecGroup, std::size(kExecGroup)},
       {"exec_result", kExecResult, std::size(kExecResult)},
+      {"sim_start", kSimStart, std::size(kSimStart)},
+      {"arrival", kArrival, std::size(kArrival)},
+      {"machine_down", kMachineEvent, std::size(kMachineEvent)},
+      {"machine_up", kMachineEvent, std::size(kMachineEvent)},
+      {"finish", kFinish, std::size(kFinish)},
+      {"sim_end", kSimEnd, std::size(kSimEnd)},
   };
   for (const auto& schema : kSchemas) {
     if (type == schema.type) {
@@ -376,12 +417,22 @@ bool check_record_schema(const JsonValue& rec, const std::string& type,
 
 }  // namespace
 
-bool validate_decision_log(std::string_view jsonl, std::string* error) {
+bool validate_decision_log(std::string_view jsonl, std::string* error,
+                           std::string* tail_warning) {
   std::vector<DecisionRecord> records;
-  if (!parse_decision_log(jsonl, records, error)) return false;
+  if (!parse_decision_log(jsonl, records, error, tail_warning)) return false;
   for (std::size_t i = 0; i < records.size(); ++i) {
     const JsonValue& rec = records[i].value;
     const auto fail = [&](const std::string& why) {
+      // A schema-broken *final* record gets the same torn-tail grace as a
+      // parse-broken final line: report, drop, keep the prefix.
+      if (tail_warning != nullptr && i + 1 == records.size()) {
+        const std::size_t offset = jsonl.rfind(records[i].raw);
+        *tail_warning = "truncated or garbled final record " +
+                        std::to_string(i + 1) + " dropped at byte offset " +
+                        std::to_string(offset) + ": " + why;
+        return true;
+      }
       if (error != nullptr) {
         *error = "record " + std::to_string(i + 1) + ": " + why;
       }

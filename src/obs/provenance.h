@@ -29,6 +29,8 @@
 // Record catalog (field "type"; every record also carries integer
 // "round"):
 //
+//   sim_start     t, jobs, machines, gpus, interval  (run lifecycle)
+//   arrival       t, job, gpus
 //   round_start   scheduler, policy, queue, capacity
 //   priority      policy, job:[ids], score:[doubles]   (queue order)
 //   bucket        gpus, jobs:[ids]                     (candidate set)
@@ -44,7 +46,12 @@
 //   restart       t, job, reason
 //   evict         t, job, machine, reason
 //   fault         t, job, reason
+//   machine_down  t, machine                          (fault domains)
+//   machine_up    t, machine
 //   degraded_continue t, jobs:[ids], gamma
+//   finish        t, job, jct, queueing, running, restart_overhead,
+//                 preemptions
+//   sim_end       t, makespan, finished, unfinished
 //   exec_group    names:[strings], slots, offsets, mode  (live executor)
 //   exec_result   names:[strings], gamma, killed
 //
@@ -102,6 +109,17 @@ class DecisionLog {
     std::string line_;
   };
 
+  // Durable tap (src/recovery): every committed record line is forwarded
+  // — without the trailing newline — under the same lock that orders the
+  // in-memory log, so a sink observes records in exactly jsonl() order.
+  // on_record() runs inside Entry's destructor; it must not throw and
+  // must not call back into this DecisionLog.
+  class Sink {
+   public:
+    virtual ~Sink() = default;
+    virtual void on_record(std::string_view line) = 0;
+  };
+
   DecisionLog() = default;
 
   DecisionLog(const DecisionLog&) = delete;
@@ -133,8 +151,13 @@ class DecisionLog {
   // Writes jsonl() to `path`; false on I/O failure.
   bool write_jsonl(const std::string& path) const;
 
-  // Drops all records and resets the round counter.
+  // Drops all records and resets the round counter. The sink, if any,
+  // stays attached (it is transport, not content).
   void clear();
+
+  // Attaches (or, with null, detaches) the durable tap. The sink must
+  // outlive the log or be detached first.
+  void set_sink(Sink* sink);
 
  private:
   friend class Entry;
@@ -143,6 +166,7 @@ class DecisionLog {
   std::atomic<std::int64_t> round_{0};
   mutable std::mutex mu_;
   std::vector<std::string> lines_;
+  Sink* sink_ = nullptr;
 };
 
 // One parsed JSONL record: the JSON value plus the original line bytes
@@ -154,16 +178,29 @@ struct DecisionRecord {
 
 // Parses a decisions JSONL dump (blank lines ignored). On failure returns
 // false with a 1-based line number and message in `error`.
+//
+// A non-null `tail_warning` opts into torn-tail tolerance: a line that
+// fails to parse *and* has nothing but blank lines after it — the
+// signature of a crash or disk-full mid-append — is dropped instead of
+// failing the whole file, and `tail_warning` receives a diagnostic with
+// the byte offset where the valid prefix ends. `tail_warning` is cleared
+// when the dump is clean. Errors anywhere before the final line still
+// fail: only a torn tail is survivable, corruption in the middle is not.
 bool parse_decision_log(std::string_view jsonl,
                         std::vector<DecisionRecord>& out,
-                        std::string* error = nullptr);
+                        std::string* error = nullptr,
+                        std::string* tail_warning = nullptr);
 
 // Schema check for a decisions JSONL dump: every record must be an object
 // carrying a string "type" and a non-negative integer "round", and the
 // per-type required fields of the catalog above must be present with the
 // right JSON types. Returns false with a diagnostic in `error`.
+// `tail_warning` has the parse_decision_log contract, extended to schema
+// checks: a final record that parses but fails the schema is also
+// reported as a warning (with its byte offset) rather than an error.
 bool validate_decision_log(std::string_view jsonl,
-                           std::string* error = nullptr);
+                           std::string* error = nullptr,
+                           std::string* tail_warning = nullptr);
 
 // Query: reconstructs one job's full decision history — the rounds it was
 // queued with its priority score, the candidate pairings considered with

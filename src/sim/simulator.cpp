@@ -994,6 +994,17 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
 
   // Main event loop.
   const Time start_time = now;
+  // Run-lifecycle records (sim_start … sim_end) bracket the run so replay
+  // (src/recovery) can tell runs apart in a shared log and rebuild the
+  // cluster shape without the trace in hand.
+  if (decisions != nullptr) {
+    decisions->entry("sim_start")
+        .num("t", now)
+        .integer("jobs", static_cast<std::int64_t>(n))
+        .integer("machines", options.cluster.num_machines)
+        .integer("gpus", cluster.total_gpus())
+        .num("interval", options.schedule_interval);
+  }
   int stall_rounds = 0;
   observe_metrics();
   dirty = true;
@@ -1042,6 +1053,12 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       s.arrived = true;
       s.measured = profiler.profile(*s.job);
       job_instant(s, "submit");
+      if (decisions != nullptr) {
+        decisions->entry("arrival")
+            .num("t", now)
+            .integer("job", s.job->id)
+            .integer("gpus", s.job->num_gpus);
+      }
       dirty = true;
       ++next_arrival;
     }
@@ -1057,6 +1074,11 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           case FaultEvent::Kind::kMachineDown: {
             monitor.on_failure(e.machine, now);
             c_machine_failures.inc();
+            if (decisions != nullptr) {
+              decisions->entry("machine_down")
+                  .num("t", now)
+                  .integer("machine", static_cast<std::int64_t>(e.machine));
+            }
             if (machine_straggler_since[mi] != kNoTime && tracer != nullptr) {
               // A crash closes any open straggler window (the injector
               // emits kStragglerEnd first, but belt and braces).
@@ -1113,6 +1135,11 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           }
           case FaultEvent::Kind::kMachineUp: {
             monitor.on_recovery(e.machine, now);
+            if (decisions != nullptr) {
+              decisions->entry("machine_up")
+                  .num("t", now)
+                  .integer("machine", static_cast<std::int64_t>(e.machine));
+            }
             if (machine_down_since[mi] != kNoTime && tracer != nullptr) {
               tracer->complete(to_us(machine_down_since[mi]),
                                to_us(now) - to_us(machine_down_since[mi]),
@@ -1245,6 +1272,16 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         s_job_running.observe(breakdown.running_seconds);
         s_job_restart_overhead.observe(breakdown.restart_overhead_seconds);
         s_job_preemptions.observe(static_cast<double>(breakdown.preemptions));
+        if (decisions != nullptr) {
+          decisions->entry("finish")
+              .num("t", now)
+              .integer("job", s.job->id)
+              .num("jct", breakdown.jct_seconds)
+              .num("queueing", breakdown.queueing_seconds)
+              .num("running", breakdown.running_seconds)
+              .num("restart_overhead", breakdown.restart_overhead_seconds)
+              .integer("preemptions", breakdown.preemptions);
+        }
         result.jct_breakdown.push_back(breakdown);
         dirty = true;
       }
@@ -1370,6 +1407,13 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   result.avg_jct = mean(result.jcts);
   result.p99_jct = percentile(result.jcts, 99.0);
   result.makespan = now - start_time;
+  if (decisions != nullptr) {
+    decisions->entry("sim_end")
+        .num("t", now)
+        .num("makespan", result.makespan)
+        .integer("finished", result.finished_jobs)
+        .integer("unfinished", result.unfinished_jobs);
+  }
   result.avg_queue_length = queue_avg.finalize(now);
   result.avg_blocking_index = blocking_avg.finalize(now);
   for (int j = 0; j < kNumResources; ++j) {

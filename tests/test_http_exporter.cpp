@@ -10,8 +10,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "obs/http_exporter.h"
 #include "obs/json.h"
@@ -162,6 +164,46 @@ TEST(HttpExporter, StopIsIdempotentAndRestartable) {
   ASSERT_TRUE(exporter.start(0, &error)) << error;
   EXPECT_NE(http_get(exporter.port(), "/metrics")
                 .find("HTTP/1.1 200 OK"),
+            std::string::npos);
+  exporter.stop();
+}
+
+TEST(HttpExporter, RetriesBindWhileThePortIsBusy) {
+  // Occupy a concrete ephemeral port with a plain listening socket.
+  const int blocker = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(blocker, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(blocker, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(blocker, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(blocker, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const int port = ntohs(addr.sin_port);
+
+  // With retries exhausted the failure is reported, not hung.
+  MetricsRegistry registry;
+  HttpExporter exporter(registry);
+  exporter.set_bind_retry(/*attempts=*/2, /*initial_backoff_ms=*/5);
+  std::string error;
+  EXPECT_FALSE(exporter.start(port, &error));
+  EXPECT_FALSE(exporter.running());
+  EXPECT_NE(error.find("in use"), std::string::npos) << error;
+
+  // Free the port mid-retry: start() succeeds on a later attempt.
+  exporter.set_bind_retry(/*attempts=*/50, /*initial_backoff_ms=*/5);
+  std::thread releaser([blocker] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ::close(blocker);
+  });
+  ASSERT_TRUE(exporter.start(port, &error)) << error;
+  releaser.join();
+  EXPECT_EQ(exporter.port(), port);
+  EXPECT_NE(http_get(port, "/healthz").find("HTTP/1.1 200 OK"),
             std::string::npos);
   exporter.stop();
 }

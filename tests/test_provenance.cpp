@@ -131,6 +131,65 @@ TEST(DecisionLog, ParserKeepsRawLinesAndSkipsBlanks) {
 }
 
 // ---------------------------------------------------------------------------
+// Torn-tail tolerance: a crashed writer leaves a half-written final line;
+// opting in via `tail_warning` drops it with a diagnostic instead of
+// failing the whole dump. Corruption anywhere else still fails.
+
+TEST(DecisionLog, ParserToleratesATornFinalLine) {
+  const std::string good =
+      "{\"type\":\"round_end\",\"round\":1,\"groups\":0,\"admitted\":0,"
+      "\"rejected\":0}\n";
+  const std::string dump = good + "{\"type\":\"fault\",\"round\":1,\"t\":";
+
+  // Strict mode (no tail_warning): the torn line is an error.
+  std::vector<DecisionRecord> records;
+  std::string error;
+  EXPECT_FALSE(obs::parse_decision_log(dump, records, &error));
+  EXPECT_NE(error.find("line 2"), std::string::npos);
+
+  // Tolerant mode: valid prefix survives, warning carries the byte
+  // offset where it ends.
+  records.clear();
+  std::string tail_warning;
+  ASSERT_TRUE(obs::parse_decision_log(dump, records, &error, &tail_warning));
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_NE(tail_warning.find("byte offset " + std::to_string(good.size())),
+            std::string::npos);
+  EXPECT_NE(tail_warning.find("final line 2"), std::string::npos);
+
+  // A clean dump clears the warning.
+  ASSERT_TRUE(obs::parse_decision_log(good, records, &error, &tail_warning));
+  EXPECT_TRUE(tail_warning.empty());
+
+  // Garbage *before* a valid line is not a torn tail — still an error.
+  records.clear();
+  EXPECT_FALSE(obs::parse_decision_log("{oops\n" + good, records, &error,
+                                       &tail_warning));
+}
+
+TEST(DecisionLog, ValidatorReportsASchemaBrokenFinalRecordAsWarning) {
+  const std::string good =
+      "{\"type\":\"round_end\",\"round\":1,\"groups\":0,\"admitted\":0,"
+      "\"rejected\":0}\n";
+  // Parses as JSON but is schema-broken (fault without job/reason) — the
+  // shape a torn write can take when the line break survived.
+  const std::string dump = good + "{\"type\":\"fault\",\"round\":1}\n";
+
+  std::string error;
+  EXPECT_FALSE(obs::validate_decision_log(dump, &error));
+  EXPECT_NE(error.find("fault"), std::string::npos);
+
+  std::string tail_warning;
+  EXPECT_TRUE(obs::validate_decision_log(dump, &error, &tail_warning));
+  EXPECT_NE(tail_warning.find("byte offset " + std::to_string(good.size())),
+            std::string::npos);
+
+  // The same broken record mid-file stays fatal even in tolerant mode.
+  EXPECT_FALSE(obs::validate_decision_log(
+      "{\"type\":\"fault\",\"round\":1}\n" + good, &error, &tail_warning));
+}
+
+// ---------------------------------------------------------------------------
 // Scheduler instrumentation.
 
 std::vector<JobView> contended_queue(int n, std::uint64_t seed) {

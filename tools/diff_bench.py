@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Gate scheduler-round perf against a committed baseline.
+
+Compares the BENCH_sched_round.json a CI run just produced against the
+checked-in bench/baselines/BENCH_sched_round.json and fails (exit 1) when
+any (config, jobs, threads) point regressed by more than the threshold.
+
+CI runners and the machine that produced the baseline differ in raw
+speed, so absolute times are not comparable. The gate normalizes by the
+median ratio across all points first: a uniformly slower machine shifts
+every ratio equally and cancels out, while a real regression sticks out
+of the distribution. A point fails only when its normalized ratio
+exceeds 1 + threshold.
+
+Sub-millisecond sweep points jitter by tens of percent run to run, so a
+ratio alone would cry wolf; a point regresses only when it exceeds the
+threshold AND slows down by at least --min-delta-ms in absolute terms.
+
+    diff_bench.py [--threshold=0.20] [--min-delta-ms=0.25] \
+        [--key=round_seconds] baseline.json current.json
+
+Exit status: 0 clean, 1 regression (or malformed input), 2 when the two
+files share no sweep points (wrong baseline checked in).
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_points(path, key):
+    with open(path) as f:
+        doc = json.load(f)
+    points = {}
+    for p in doc.get("sweep", []):
+        ident = (p["config"], p["jobs"], p["threads"])
+        value = p.get(key)
+        if not isinstance(value, (int, float)) or value <= 0:
+            raise ValueError(f"{path}: point {ident} has bad {key!r}: {value!r}")
+        points[ident] = float(value)
+    if not points:
+        raise ValueError(f"{path}: no sweep points")
+    return points
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed normalized slowdown (default 0.20)")
+    parser.add_argument("--min-delta-ms", type=float, default=0.25,
+                        help="ignore regressions smaller than this many "
+                             "milliseconds (default 0.25)")
+    parser.add_argument("--key", default="round_seconds",
+                        help="sweep field to compare (default round_seconds)")
+    args = parser.parse_args()
+
+    try:
+        base = load_points(args.baseline, args.key)
+        cur = load_points(args.current, args.key)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"diff_bench: {e}", file=sys.stderr)
+        return 1
+
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("diff_bench: baseline and current share no sweep points "
+              "(stale baseline?)", file=sys.stderr)
+        return 2
+    for ident in sorted(set(base) ^ set(cur)):
+        side = "baseline" if ident in base else "current"
+        print(f"diff_bench: note: {ident} only in {side}; skipped")
+
+    ratios = {ident: cur[ident] / base[ident] for ident in shared}
+    machine_factor = statistics.median(ratios.values())
+    limit = 1.0 + args.threshold
+
+    regressed = []
+    print(f"diff_bench: {len(shared)} shared points, machine factor "
+          f"{machine_factor:.3f}, limit {limit:.2f}x after normalization")
+    for ident in shared:
+        normalized = ratios[ident] / machine_factor
+        delta_ms = (cur[ident] - base[ident] * machine_factor) * 1e3
+        config, jobs, threads = ident
+        line = (f"  {config:<9} jobs={jobs:<4} threads={threads}  "
+                f"{base[ident] * 1e3:8.3f} ms -> {cur[ident] * 1e3:8.3f} ms  "
+                f"({normalized:.2f}x normalized)")
+        if normalized > limit and delta_ms >= args.min_delta_ms:
+            regressed.append(ident)
+            line += "  REGRESSION"
+        print(line)
+
+    if regressed:
+        print(f"diff_bench: {len(regressed)} point(s) regressed more than "
+              f"{args.threshold:.0%} over baseline ({args.baseline})",
+              file=sys.stderr)
+        return 1
+    print("diff_bench: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

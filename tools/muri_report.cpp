@@ -16,10 +16,20 @@
 //   muri-report explain-job 42 decisions.jsonl    # one job's full history
 //   muri-report explain-round 3 --format=json decisions.jsonl
 //
+// The replay subcommand reconstructs scheduler state (src/recovery) from
+// a decision stream — either a durable WAL (auto-detected by its magic;
+// last snapshot + suffix replay) or a plain JSONL dump:
+//
+//   muri-report replay decisions.wal              # human summary
+//   muri-report replay --format=json crash.jsonl  # ReplayState JSON
+//
+// A torn tail (crashed writer) is reported on stderr with its byte
+// offset and the valid prefix is replayed — that is the point.
+//
 // Exit status: 0 on success, 1 on usage/IO/parse/schema errors, 2 when
-// the input parses but yields nothing to report (empty tables, or an
-// explain query matching no record) — so CI can fail a run whose
-// instrumentation silently vanished.
+// the input parses but yields nothing to report (empty tables, an
+// explain query matching no record, or a replay of zero records) — so
+// CI can fail a run whose instrumentation silently vanished.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -32,12 +42,15 @@
 #include "obs/analysis.h"
 #include "obs/json.h"
 #include "obs/provenance.h"
+#include "recovery/durable.h"
+#include "recovery/replay.h"
+#include "recovery/wal.h"
 
 namespace {
 
 enum class Format { kText, kCsv, kJson };
 
-enum class Mode { kTraceReport, kExplainJob, kExplainRound };
+enum class Mode { kTraceReport, kExplainJob, kExplainRound, kReplay };
 
 struct Options {
   Format format = Format::kText;
@@ -53,7 +66,9 @@ void usage(std::ostream& os) {
         "       muri-report explain-job ID [--format=text|json] [--out=FILE] "
         "DECISIONS.jsonl\n"
         "       muri-report explain-round N [--format=text|json] [--out=FILE] "
-        "DECISIONS.jsonl\n";
+        "DECISIONS.jsonl\n"
+        "       muri-report replay [--format=text|json] [--out=FILE] "
+        "WAL-or-DECISIONS-file\n";
 }
 
 bool parse_int64(std::string_view text, std::int64_t& out) {
@@ -100,6 +115,20 @@ bool parse_args(int argc, char** argv, Options& opts) {
     }
   }
 
+  // The replay subcommand claims one positional: the WAL or JSONL file.
+  if (!positional.empty() && positional[0] == "replay") {
+    opts.mode = Mode::kReplay;
+    positional.erase(positional.begin());
+    if (opts.format == Format::kCsv) {
+      std::cerr << "muri-report: replay output is text or json, not csv\n";
+      return false;
+    }
+    if (positional.size() != 1) {
+      std::cerr << "muri-report: replay takes exactly one WAL or "
+                   "DECISIONS.jsonl file\n";
+      return false;
+    }
+  }
   // An explain subcommand claims the first two positionals; everything
   // after is input files (exactly one decisions dump).
   if (!positional.empty() &&
@@ -210,11 +239,66 @@ int run_explain(const Options& opts) {
   return emit_output(opts, output) ? 0 : 1;
 }
 
+int run_replay(const Options& opts) {
+  const std::string& path = opts.traces.front();
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "muri-report: cannot read " << path << '\n';
+    return 1;
+  }
+
+  muri::recovery::ReplayState state;
+  std::string error;
+  if (muri::recovery::looks_like_wal(text)) {
+    muri::recovery::RecoverResult recovered;
+    if (!muri::recovery::recover_wal(path, recovered, &error)) {
+      std::cerr << "muri-report: " << path << ": " << error << '\n';
+      return 1;
+    }
+    if (recovered.torn) {
+      std::cerr << "muri-report: " << path
+                << ": warning: torn tail ignored (" << recovered.torn_reason
+                << ")\n";
+    }
+    if (recovered.records_on_disk == 0) {
+      std::cerr << "muri-report: no records in " << path << '\n';
+      return 2;
+    }
+    if (recovered.used_snapshot) {
+      std::cerr << "muri-report: recovered from snapshot + "
+                << recovered.replayed_records << "-record suffix\n";
+    }
+    state = recovered.state;
+  } else {
+    muri::recovery::ReplayEngine engine;
+    std::string tail_warning;
+    if (!engine.replay(text, &error, &tail_warning)) {
+      std::cerr << "muri-report: " << path << ": " << error << '\n';
+      return 1;
+    }
+    if (!tail_warning.empty()) {
+      std::cerr << "muri-report: " << path << ": warning: " << tail_warning
+                << '\n';
+    }
+    if (engine.state().records == 0) {
+      std::cerr << "muri-report: no records in " << path << '\n';
+      return 2;
+    }
+    state = engine.state();
+  }
+
+  const std::string output = opts.format == Format::kJson
+                                 ? muri::recovery::state_json(state)
+                                 : muri::recovery::state_text(state);
+  return emit_output(opts, output) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return 1;
+  if (opts.mode == Mode::kReplay) return run_replay(opts);
   if (opts.mode != Mode::kTraceReport) return run_explain(opts);
 
   std::string output;
