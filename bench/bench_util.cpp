@@ -112,9 +112,12 @@ void init_obs(int argc, const char* const* argv) {
       std::fprintf(stderr, "serving metrics on http://127.0.0.1:%d/metrics\n",
                    state.exporter->port());
     } else {
+      // The user explicitly asked for a live endpoint; running on without
+      // one would look like success to whatever is scraping it. Exit
+      // non-zero so the caller (or CI step) sees the failure.
       std::fprintf(stderr, "failed to start metrics exporter: %s\n",
                    error.c_str());
-      state.exporter.reset();
+      std::exit(1);
     }
   }
   if (state.tracer != nullptr || state.metrics != nullptr ||

@@ -14,6 +14,7 @@
 #include "common/threadpool.h"
 #include "matching/blossom.h"
 #include "matching/capture.h"
+#include "matching/incremental/incremental.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
@@ -94,6 +95,30 @@ void export_round_metrics(obs::MetricsRegistry& m, const GroupingStats& round,
   m.counter("muri_decision_matching_fallbacks_total",
             "Grouping rounds that ended without a productive matching")
       .inc(static_cast<double>(round.matching_fallbacks));
+  // Delta-round accounting (matching/incremental). All zero in rebuild
+  // mode, so exporting unconditionally keeps the registry shape stable
+  // across configurations.
+  m.counter("muri_sched_dirty_jobs_total",
+            "Per-bucket membership changes processed by incremental rounds")
+      .inc(static_cast<double>(round.dirty_jobs));
+  m.counter("muri_sched_topk_rescans_total",
+            "Top-k candidate buffers rebuilt by a full rescan")
+      .inc(static_cast<double>(round.topk_rescans));
+  m.counter("muri_sched_pair_gamma_reused_total",
+            "Round-0 pairwise gamma values served from the cross-round cache")
+      .inc(static_cast<double>(round.edges_reused));
+  m.counter("muri_sched_pair_gamma_patched_total",
+            "Round-0 pairwise gamma values recomputed (dirty edges)")
+      .inc(static_cast<double>(round.edges_patched));
+  m.counter("muri_sched_components_total",
+            "Capped candidate-graph components offered to grouping")
+      .inc(static_cast<double>(round.components_total));
+  m.counter("muri_sched_components_reused_total",
+            "Components folded forward from the cross-round result cache")
+      .inc(static_cast<double>(round.components_reused));
+  m.counter("muri_sched_components_trivial_total",
+            "Single-member components served by the direct fast path")
+      .inc(static_cast<double>(round.components_trivial));
   m.gauge("muri_sched_queue_jobs", "Jobs visible to the last round")
       .set(static_cast<double>(queue_jobs));
   m.gauge("muri_sched_plan_groups", "Groups emitted by the last round")
@@ -107,7 +132,8 @@ void export_round_metrics(obs::MetricsRegistry& m, const GroupingStats& round,
 
 std::vector<std::vector<int>> multi_round_grouping(
     const std::vector<ResourceVector>& profiles, int max_group_size,
-    ThreadPool* pool, GroupingStats* stats, GroupingCapture* capture) {
+    ThreadPool* pool, GroupingStats* stats, GroupingCapture* capture,
+    PairGammaHook* pair_hook) {
   assert(max_group_size >= 1);
   std::vector<GroupNode> nodes;
   nodes.reserve(profiles.size());
@@ -161,6 +187,12 @@ std::vector<std::vector<int>> multi_round_grouping(
             gamma = it->second;
             cached = true;
           }
+        } else if (combined == 2 && pair_hook != nullptr) {
+          // Cross-round pair memo (matching/incremental): the hook
+          // validates full profile bits, so a hit is bit-identical to
+          // recomputation. Read-only here — stores happen in the serial
+          // fold below.
+          cached = pair_hook->lookup(a.members[0], b.members[0], &gamma);
         }
         if (!cached) {
           if (combined == 2) {
@@ -212,6 +244,12 @@ std::vector<std::vector<int>> multi_round_grouping(
               gamma_cache.try_emplace(key, graph.weight(u, v)).second;
           if (stats != nullptr) {
             ++(inserted ? stats->cache_misses : stats->cache_hits);
+          }
+          if (round == 0 && combined == 2 && pair_hook != nullptr) {
+            // Every admissible round-0 pair reports its final γ — cell
+            // value 0 means "computed γ is 0", never "absent", because
+            // round 0 offers every pair.
+            pair_hook->store(a.members[0], b.members[0], graph.weight(u, v));
           }
         }
       }
@@ -304,10 +342,24 @@ std::vector<std::vector<int>> multi_round_grouping(
   return groups;
 }
 
+// Cross-round incremental state: one BucketGraphState per GPU-demand
+// bucket key. std::map for deterministic iteration when aging out
+// buckets that stopped appearing.
+struct MuriScheduler::IncrementalState {
+  std::map<int, BucketGraphState> buckets;
+};
+
+// Entries (pair γs, component results, whole buckets) untouched for this
+// many rounds are dropped — long enough that transient priority shuffles
+// do not thrash the caches, short enough that a drained queue releases
+// its memory.
+constexpr std::int64_t kIncrementalMaxAge = 64;
+
 MuriScheduler::MuriScheduler(MuriOptions options) : options_(options) {
   assert(options_.max_group_size >= 1 &&
          options_.max_group_size <= kNumResources);
   assert(options_.num_threads >= 0);
+  assert(options_.top_k >= 0);
   set_decision_log(options_.decisions);
 }
 
@@ -338,6 +390,19 @@ std::string MuriScheduler::name() const {
   if (options_.ordering == OrderingPolicy::kWorst) n += "-worstorder";
   if (!options_.use_blossom) n += "-noblossom";
   if (!options_.bucket_by_gpu) n += "-nobucket";
+  // top_k (and its component cap) change which edges Blossom sees, so
+  // they are part of the scheduler's identity. `incremental` is absent
+  // on purpose: it is a pure latency knob, bit-identical to the rebuild
+  // at the same top_k — putting it in the name would break the
+  // DecisionLog byte-equality the equivalence gate enforces.
+  if (options_.top_k > 0) {
+    n += "-topk";
+    n += std::to_string(options_.top_k);
+    if (options_.component_cap != 32) {
+      n += "-cap";
+      n += std::to_string(options_.component_cap);
+    }
+  }
   return n;
 }
 
@@ -392,6 +457,10 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
       // A true wall span in the steady domain; in the manual (sim-time)
       // domain a round takes zero simulated time, so it collapses to a
       // deterministic zero-duration marker at the current sim instant.
+      // Args carry only mode-independent facts (queue, groups, round id):
+      // work counters like cache hits differ between the rebuild and
+      // incremental paths by design, and embedding them here would break
+      // the trace byte-equality the equivalence gate enforces.
       const std::int64_t end_us = tr.now_micros();
       const std::int64_t dur_us =
           tr.manual_time() ? 0
@@ -400,21 +469,30 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
                   obs::kSchedulerTrack, 0,
                   obs::TraceArgs(
                       "queue", static_cast<double>(queue.size()), "groups",
-                      static_cast<double>(plan.size()), "cache_hits",
-                      static_cast<double>(last_round_stats_.cache_hits),
-                      "matchings",
-                      static_cast<double>(last_round_stats_.matchings_run))
-                      .add("round", static_cast<double>(round_id)));
+                      static_cast<double>(plan.size()), "round",
+                      static_cast<double>(round_id)));
     }
   };
   auto ordered =
       sorted_by_priority(queue, [&](const JobView& v) { return priority_of(v); });
   if (dlog != nullptr) {
-    dlog->entry("round_start")
-        .str("scheduler", name())
-        .str("policy", options_.durations_known ? "SRSF" : "2D-LAS")
-        .integer("queue", static_cast<std::int64_t>(queue.size()))
-        .integer("capacity", ctx.capacity());
+    {
+      auto e = dlog->entry("round_start");
+      e.str("scheduler", name())
+          .str("policy", options_.durations_known ? "SRSF" : "2D-LAS")
+          .integer("queue", static_cast<std::int64_t>(queue.size()))
+          .integer("capacity", ctx.capacity());
+      // Lifecycle churn since the previous round, as reported by the
+      // caller (the simulator plumbs arrivals/finishes/preemptions/
+      // evictions through SchedulerContext::dirty_jobs). Identical
+      // between rebuild and incremental runs — it describes the *input*
+      // delta, not the work done with it — so logging it keeps the
+      // DecisionLog byte-equality contract intact.
+      if (ctx.dirty_jobs != nullptr) {
+        e.integer("dirty",
+                  static_cast<std::int64_t>(ctx.dirty_jobs->size()));
+      }
+    }
     std::vector<std::int64_t> ids;
     std::vector<double> scores;
     ids.reserve(ordered.size());
@@ -496,29 +574,74 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
     }
   }
 
-  // Independent GPU buckets are grouped concurrently; each bucket's result
-  // and counters land in a slot owned by its index. A bucket task running
-  // on a pool worker executes its own edge loops inline (nested
-  // parallel_for), while a single dominant bucket grouped from this thread
-  // still fans its edge loop out across the pool.
+  // Job ids per bucket-local index — the candidate-graph identity the
+  // incremental masks and caches key on.
+  std::vector<std::vector<JobId>> bucket_job_ids(nb);
+  for (size_t bi = 0; bi < nb; ++bi) {
+    bucket_job_ids[bi].reserve(bucket_indices[bi].size());
+    for (int idx : bucket_indices[bi]) {
+      bucket_job_ids[bi].push_back(candidates[static_cast<size_t>(idx)].id);
+    }
+  }
+
+  // Incremental mode: pre-create every bucket's persistent state
+  // serially before the parallel phase (inserting into the map from
+  // concurrent bucket tasks would race), then let each bucket task
+  // mutate only its own state — cache evolution is confined to the
+  // bucket's deterministic serial flow, so it is identical for every
+  // thread count.
+  if (options_.incremental && options_.use_blossom) {
+    if (incr_ == nullptr) incr_ = std::make_unique<IncrementalState>();
+    for (size_t bi = 0; bi < nb; ++bi) {
+      auto [it, inserted] = incr_->buckets.try_emplace(
+          bucket_keys[bi], BucketGraphState(options_.top_k));
+      it->second.last_seen_round = round_seq_;
+      (void)inserted;
+    }
+    // Buckets that stopped appearing (demand class drained) age out.
+    for (auto it = incr_->buckets.begin(); it != incr_->buckets.end();) {
+      if (round_seq_ - it->second.last_seen_round > kIncrementalMaxAge) {
+        it = incr_->buckets.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // One unit of grouping work: a capped component of a bucket's pruned
+  // candidate graph (with top_k == 0 the whole bucket is one component,
+  // which is exactly the pre-existing dense path). Results, counters,
+  // captures, and deferred cache stores all land in slots owned by the
+  // component so the parallel phase below stays race-free; everything is
+  // folded serially in (bucket, component) order afterwards.
+  struct ComponentWork {
+    std::vector<int> local;              // bucket-local member indices
+    std::vector<JobId> ids;              // parallel to `local`
+    std::vector<ResourceVector> profs;   // parallel to `local`
+    std::vector<std::vector<int>> groups;  // component-local indices
+    GroupingCapture capture;
+    GroupingStats stats;
+    bool reused = false;
+    bool trivial = false;  // single member: direct {{0}}, no cache, no hook
+    std::unique_ptr<ComponentPairHook> hook;
+  };
+
   std::vector<std::vector<std::vector<int>>> bucket_groups(nb);
   std::vector<GroupingStats> bucket_stats(nb);
-  // Matching captures for the decision log: one slot per bucket so the
-  // concurrent grouping below stays race-free, serialized afterwards in
-  // bucket order. Null capture pointers when no log is attached keep the
-  // disabled path allocation-free.
-  std::vector<GroupingCapture> bucket_captures(dlog != nullptr ? nb : 0);
+  // Per-bucket (component member list, capture) pairs for the decision
+  // log, serialized after the parallel phase in (bucket, component)
+  // order. Empty when no log is attached.
+  std::vector<std::vector<std::pair<std::vector<int>, GroupingCapture>>>
+      bucket_comp_captures(nb);
   ThreadPool* round_pool = pool();
-  const auto group_bucket = [&](std::int64_t bi) {
-    const auto& profs = bucket_profiles[static_cast<size_t>(bi)];
-    auto& groups = bucket_groups[static_cast<size_t>(bi)];
-    if (options_.use_blossom) {
-      groups = multi_round_grouping(profs, options_.max_group_size, round_pool,
-                                    &bucket_stats[static_cast<size_t>(bi)],
-                                    dlog != nullptr
-                                        ? &bucket_captures[static_cast<size_t>(bi)]
-                                        : nullptr);
-    } else {
+  const bool incremental = options_.incremental && options_.use_blossom;
+  const auto group_bucket = [&](std::int64_t bi_raw) {
+    const auto bi = static_cast<size_t>(bi_raw);
+    const auto& profs = bucket_profiles[bi];
+    const auto& ids = bucket_job_ids[bi];
+    auto& groups = bucket_groups[bi];
+    GroupingStats& bstats = bucket_stats[bi];
+    if (!options_.use_blossom) {
       // Ablation (§6.4): pack jobs with the same GPU requirement
       // consecutively in descending priority order.
       std::vector<int> chunk;
@@ -530,6 +653,151 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
         }
       }
       if (!chunk.empty()) groups.push_back(chunk);
+      return;
+    }
+
+    BucketGraphState* state =
+        incremental ? &incr_->buckets.at(bucket_keys[bi]) : nullptr;
+
+    // 1. Component split — identical in both modes: the same mask (the
+    // maintained one is provably equal to from-scratch, see
+    // matching/incremental) through the same capped union-find. With
+    // top_k == 0 the whole bucket is one component and no mask is built.
+    IncrementalStats istats;
+    std::vector<std::vector<int>> comps;
+    if (options_.top_k > 0) {
+      if (state != nullptr) {
+        state->mask.update(ids, profs, &istats);
+        comps = split_components(ids, state->mask.edges(),
+                                 options_.component_cap);
+      } else {
+        const TopKMask mask =
+            TopKMask::from_scratch(ids, profs, options_.top_k);
+        comps = split_components(ids, mask.edges(), options_.component_cap);
+      }
+    } else {
+      comps.emplace_back(static_cast<size_t>(profs.size()));
+      std::iota(comps.back().begin(), comps.back().end(), 0);
+    }
+
+    // 2. Materialize per-component inputs and consult the component
+    // result cache (serially — lookup refreshes the entry's age).
+    const size_t nc = comps.size();
+    std::vector<ComponentWork> work(nc);
+    for (size_t ci = 0; ci < nc; ++ci) {
+      ComponentWork& w = work[ci];
+      w.local = std::move(comps[ci]);
+      if (w.local.size() == 1) {
+        // Trivial component: multi_round_grouping on one profile returns
+        // {{0}} without touching stats, capture, or the hook, so skipping
+        // the cache machinery (id/profile copies, hashing, store) changes
+        // no byte of any output — it only removes allocator traffic, which
+        // dominates the warm-round floor at 10k jobs.
+        w.trivial = true;
+        continue;
+      }
+      w.ids.reserve(w.local.size());
+      w.profs.reserve(w.local.size());
+      for (int li : w.local) {
+        w.ids.push_back(ids[static_cast<size_t>(li)]);
+        w.profs.push_back(profs[static_cast<size_t>(li)]);
+      }
+      if (state != nullptr) {
+        const auto* hit = state->component_cache.lookup(
+            w.ids, w.profs, /*need_capture=*/dlog != nullptr, round_seq_);
+        if (hit != nullptr) {
+          w.groups = hit->groups;
+          if (dlog != nullptr) w.capture = hit->capture;
+          w.reused = true;
+        }
+      }
+    }
+
+    // 3. Group the components that were not folded forward. Components
+    // of one bucket run concurrently when there are several (the 10k-job
+    // single-bucket case); a lone component fans its edge loop across
+    // the pool instead — which with top_k == 0 is byte-for-byte the
+    // pre-existing whole-bucket path.
+    const auto run_component = [&](std::int64_t ci_raw) {
+      ComponentWork& w = work[static_cast<size_t>(ci_raw)];
+      if (w.reused || w.trivial) return;
+      if (state != nullptr) {
+        w.hook = std::make_unique<ComponentPairHook>(&state->pair_cache,
+                                                     w.ids, &w.profs);
+      }
+      ThreadPool* inner = nc == 1 ? round_pool : nullptr;
+      w.groups = multi_round_grouping(
+          w.profs, options_.max_group_size, inner, &w.stats,
+          dlog != nullptr ? &w.capture : nullptr, w.hook.get());
+    };
+    if (round_pool != nullptr && nc > 1) {
+      round_pool->parallel_for(0, static_cast<std::int64_t>(nc),
+                               run_component);
+    } else {
+      for (size_t ci = 0; ci < nc; ++ci) {
+        run_component(static_cast<std::int64_t>(ci));
+      }
+    }
+
+    // 4. Serial fold in component order: translate groups to
+    // bucket-local indices, accumulate counters, commit deferred cache
+    // stores. Deterministic regardless of how step 3 was scheduled.
+    bstats.dirty_jobs += istats.dirty_jobs;
+    bstats.topk_rescans += istats.topk_rescans;
+    for (size_t ci = 0; ci < nc; ++ci) {
+      ComponentWork& w = work[ci];
+      bstats.accumulate(w.stats);
+      ++bstats.components_total;
+      if (w.trivial) {
+        ++bstats.components_trivial;
+        groups.push_back(std::vector<int>{w.local[0]});
+        if (dlog != nullptr) {
+          bucket_comp_captures[bi].emplace_back(std::move(w.local),
+                                                GroupingCapture{});
+        }
+        continue;
+      }
+      if (w.reused) ++bstats.components_reused;
+      if (w.hook != nullptr) {
+        bstats.edges_reused += w.hook->hits();
+        bstats.edges_patched += w.hook->misses();
+      }
+      for (const auto& g : w.groups) {
+        std::vector<int> mapped;
+        mapped.reserve(g.size());
+        for (int m : g) {
+          mapped.push_back(w.local[static_cast<size_t>(m)]);
+        }
+        groups.push_back(std::move(mapped));
+      }
+      if (state != nullptr) {
+        if (w.hook != nullptr) {
+          for (const PendingPairStore& p : w.hook->pending()) {
+            state->pair_cache.store(p.a, p.pa, p.b, p.pb, p.gamma,
+                                    round_seq_);
+          }
+        }
+        if (!w.reused) {
+          ComponentResultCache::CachedComponent entry;
+          entry.ids = w.ids;
+          entry.profiles = w.profs;
+          entry.groups = w.groups;
+          entry.has_capture = dlog != nullptr;
+          if (dlog != nullptr) entry.capture = w.capture;
+          state->component_cache.store(std::move(entry), round_seq_);
+        }
+      }
+      if (dlog != nullptr) {
+        bucket_comp_captures[bi].emplace_back(std::move(w.local),
+                                              std::move(w.capture));
+      }
+    }
+    if (state != nullptr && (round_seq_ & 0xF) == 0) {
+      // Aging only evicts exact entries (an evicted one just recomputes
+      // to the same bits), so sweeping every 16th round is pure latency
+      // saving; entries live at most kIncrementalMaxAge + 15 rounds.
+      state->pair_cache.age(round_seq_, kIncrementalMaxAge);
+      state->component_cache.age(round_seq_, kIncrementalMaxAge);
     }
   };
   if (round_pool != nullptr && nb > 1) {
@@ -543,9 +811,12 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
   cumulative_stats_.accumulate(last_round_stats_);
 
   // Serialize the per-bucket candidate sets and matching rounds into the
-  // decision log, translating bucket-local member indices to job ids
+  // decision log, translating component-local member indices to job ids
   // (edge/matched endpoints stay node indices into the sibling "nodes"
-  // array, per the record catalog).
+  // array, per the record catalog). match_round records are emitted per
+  // capped component with a "component" ordinal; both modes run the same
+  // split, so the record stream is byte-identical between rebuild and
+  // incremental rounds.
   if (dlog != nullptr) {
     const auto job_of = [&](size_t bi, int local) {
       return candidates[static_cast<size_t>(
@@ -559,8 +830,18 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
       for (size_t i = 0; i < bucket_indices[bi].size(); ++i) {
         jobs.push_back(job_of(bi, static_cast<int>(i)));
       }
-      dlog->entry("bucket").integer("gpus", bucket_keys[bi]).ids("jobs", jobs);
-      for (const MatchingRoundRecord& mr : bucket_captures[bi].rounds) {
+      dlog->entry("bucket")
+          .integer("gpus", bucket_keys[bi])
+          .ids("jobs", jobs)
+          .integer("components", static_cast<std::int64_t>(
+                                     bucket_comp_captures[bi].size()));
+      for (size_t ci = 0; ci < bucket_comp_captures[bi].size(); ++ci) {
+        const auto& [comp_local, capture] = bucket_comp_captures[bi][ci];
+        // Component-local node index -> bucket-local -> job id.
+        const auto comp_job_of = [&](int local) {
+          return job_of(bi, comp_local[static_cast<size_t>(local)]);
+        };
+        for (const MatchingRoundRecord& mr : capture.rounds) {
         std::string nodes_json = "[";
         for (size_t ni = 0; ni < mr.nodes.size(); ++ni) {
           if (ni != 0) nodes_json += ',';
@@ -569,7 +850,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
             if (mi != 0) nodes_json += ',';
             scratch.clear();
             obs::append_json_double(
-                scratch, static_cast<double>(job_of(bi, mr.nodes[ni][mi])));
+                scratch, static_cast<double>(comp_job_of(mr.nodes[ni][mi])));
             nodes_json += scratch;
           }
           nodes_json += ']';
@@ -603,12 +884,14 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
         matched_json += ']';
         dlog->entry("match_round")
             .integer("gpus", bucket_keys[bi])
+            .integer("component", static_cast<std::int64_t>(ci))
             .integer("stage", mr.stage)
             .raw("nodes", nodes_json)
             .raw("edges", edges_json)
             .raw("matched", matched_json)
             .ints("unmatched", mr.unmatched)
             .raw("fallback", mr.fallback ? "true" : "false");
+        }
       }
     }
   }

@@ -31,6 +31,7 @@ class Tracer;
 
 namespace muri {
 
+class PairGammaHook;
 class ThreadPool;
 struct GroupingCapture;
 
@@ -53,6 +54,26 @@ struct MuriOptions {
   // utilize the cluster"), clamped to 192 so a deep backlog cannot make a
   // scheduling round quadratically slower.
   int candidate_cap = 0;
+  // Candidate-edge pruning: each job only offers γ edges to its top_k
+  // most *complementary* neighbors (lowest bottleneck-profile similarity,
+  // matching/incremental). 0 disables pruning — the full dense graph,
+  // today's behavior. top_k > 0 changes which edges Blossom sees, so it
+  // is a result-affecting knob and appears in name(); it is what makes
+  // 10k-job rounds tractable (Blossom runs per capped component instead
+  // of once over everything).
+  int top_k = 0;
+  // With top_k > 0, the pruned graph is split by a capacity-capped greedy
+  // union-find (edges in ascending similarity order merge clusters only
+  // while the merged size stays within the cap), bounding every Blossom
+  // invocation. Ignored when top_k == 0.
+  int component_cap = 32;
+  // Delta-based rounds: persist the per-bucket candidate graph, γ pair
+  // cache, and component results across schedule() calls, patching only
+  // what churned (matching/incremental). Pure latency knob — plans,
+  // DecisionLog, and trace bytes are bit-identical to the full rebuild
+  // at the same top_k (the incremental-equivalence CI job enforces it) —
+  // so it does NOT appear in name(). Default off.
+  bool incremental = false;
   // Threads a scheduling round may use: the matching-graph edge weights
   // are evaluated in parallel and independent GPU buckets are grouped
   // concurrently. 0 = hardware concurrency, 1 = the plain serial path.
@@ -98,6 +119,22 @@ struct GroupingStats {
   // γ edges, or Blossom matched zero pairs) and fell back to emitting the
   // current nodes as final groups.
   std::int64_t matching_fallbacks = 0;
+  // Delta-round accounting (matching/incremental): how much of the round
+  // was patched vs folded forward. All zero in rebuild mode. These never
+  // appear in byte-compared outputs (plans, DecisionLog, trace) — they
+  // measure work done, which is exactly what differs between modes.
+  std::int64_t dirty_jobs = 0;        // bucket membership delta processed
+  std::int64_t topk_rescans = 0;      // candidate buffers rebuilt in full
+  std::int64_t edges_reused = 0;      // round-0 γs served from the pair cache
+  std::int64_t edges_patched = 0;     // round-0 γs recomputed (dirty edges)
+  std::int64_t components_total = 0;  // components offered to grouping
+  std::int64_t components_reused = 0; // folded forward without re-matching
+  // Single-member components: nothing to match, nothing worth caching —
+  // the grouping of one job is itself. Served by a direct fast path in
+  // both modes (byte-identical output); counted separately so
+  // components_reused keeps meaning "cache fold" and the warm-round
+  // invariant is reused + trivial == total.
+  std::int64_t components_trivial = 0;
 
   void accumulate(const GroupingStats& other) {
     graph_build_seconds += other.graph_build_seconds;
@@ -106,6 +143,13 @@ struct GroupingStats {
     cache_misses += other.cache_misses;
     matchings_run += other.matchings_run;
     matching_fallbacks += other.matching_fallbacks;
+    dirty_jobs += other.dirty_jobs;
+    topk_rescans += other.topk_rescans;
+    edges_reused += other.edges_reused;
+    edges_patched += other.edges_patched;
+    components_total += other.components_total;
+    components_reused += other.components_reused;
+    components_trivial += other.components_trivial;
   }
 };
 
@@ -145,6 +189,12 @@ class MuriScheduler final : public Scheduler {
 
   MuriOptions options_;
   std::unique_ptr<ThreadPool> pool_;
+  // Cross-round incremental state — the per-bucket candidate masks, γ
+  // pair caches, and component result caches (matching/incremental).
+  // Allocated lazily on the first incremental contended round; absent
+  // entirely in rebuild mode.
+  struct IncrementalState;
+  std::unique_ptr<IncrementalState> incr_;
   GroupingStats last_round_stats_;
   GroupingStats cumulative_stats_;
   // Round ids for the trace round span and the decision log; kept in
@@ -174,9 +224,16 @@ std::vector<std::vector<int>> multi_round_grouping(
 // round — nodes, positive edges, merges, survivors — copied out of the
 // assembled graph after the fact; populating it never changes the result
 // (see matching/capture.h).
+// `pair_hook` (may be null) is consulted for round-0 pairwise γ values
+// (matching/incremental): lookup during the parallel edge phase
+// (read-only, concurrency-safe), store from the serial fold loop with
+// the final cell value of every admissible round-0 pair. A hook whose
+// lookups return values bit-identical to pairwise_efficiency — the
+// PairGammaCache contract — leaves the grouping bit-identical.
 std::vector<std::vector<int>> multi_round_grouping(
     const std::vector<ResourceVector>& profiles, int max_group_size,
     ThreadPool* pool, GroupingStats* stats,
-    GroupingCapture* capture = nullptr);
+    GroupingCapture* capture = nullptr,
+    PairGammaHook* pair_hook = nullptr);
 
 }  // namespace muri

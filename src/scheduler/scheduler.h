@@ -49,6 +49,14 @@ struct SchedulerContext {
   // failed and blacklisted machines excluded). -1 means "no fault domain
   // information" and falls back to total_gpus.
   int available_gpus = -1;
+  // Jobs whose lifecycle changed since the previous round (arrived,
+  // finished, preempted, evicted, faulted), sorted ascending and
+  // deduplicated — the simulator's dirty set. Null means "unknown";
+  // schedulers must treat it as advisory observability input only (the
+  // incremental Muri path derives its own exact delta from membership
+  // and profile bits, so a stale or absent set can never corrupt a
+  // plan). Logged as round_start's "dirty" field when present.
+  const std::vector<JobId>* dirty_jobs = nullptr;
 
   // The GPU capacity a scheduler may plan against this round.
   int capacity() const noexcept {

@@ -159,6 +159,12 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   Time now = trace.jobs[arrival_order[0]].submit_time;
   Time last_round = now - options.schedule_interval;  // first round fires now
   bool dirty = false;
+  // Which jobs made the queue dirty since the last round — the lifecycle
+  // delta (arrivals, finishes, preemptions, evictions, faults) handed to
+  // the scheduler via SchedulerContext::dirty_jobs. Sorted + deduplicated
+  // right before each round; cleared after the plan is taken (apply_plan's
+  // own displacements then seed the next round's set).
+  std::vector<JobId> dirty_jobs;
 
   FaultInjector injector(options.cluster.num_machines, options.machine_faults,
                          now);
@@ -986,6 +992,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         s.group_id = -1;
         s.acct = nullptr;
         ++s.preemptions;
+        dirty_jobs.push_back(s.job->id);
       }
     }
     recompute_utilization();
@@ -1060,6 +1067,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
             .integer("gpus", s.job->num_gpus);
       }
       dirty = true;
+      dirty_jobs.push_back(s.job->id);
       ++next_arrival;
     }
 
@@ -1124,6 +1132,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                   s.acct = nullptr;
                   ++s.preemptions;
                   c_evictions.inc();
+                  dirty_jobs.push_back(id);
                 }
               }
               cluster.release(it->first);
@@ -1215,6 +1224,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           s.acct = nullptr;
           c_faults.inc();
           dirty = true;
+          dirty_jobs.push_back(dead);
           if (owner != kNoOwner) {
             auto it = running_groups.find(owner);
             if (it != running_groups.end()) {
@@ -1284,6 +1294,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         }
         result.jct_breakdown.push_back(breakdown);
         dirty = true;
+        dirty_jobs.push_back(s.job->id);
       }
     }
     if (dirty) {
@@ -1314,6 +1325,14 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       ctx.durations_known = options.durations_known;
       // Failed and blacklisted machines are out of the allocatable pool.
       ctx.available_gpus = cluster.available_gpus();
+      // The lifecycle delta since the previous round. A job can appear
+      // more than once (e.g. evicted then re-faulted) — dedupe so the
+      // count means "jobs changed", and sort so the set is deterministic
+      // for the round_start log field.
+      std::sort(dirty_jobs.begin(), dirty_jobs.end());
+      dirty_jobs.erase(std::unique(dirty_jobs.begin(), dirty_jobs.end()),
+                       dirty_jobs.end());
+      ctx.dirty_jobs = &dirty_jobs;
 
       const auto wall_start = std::chrono::steady_clock::now();
       const auto plan = scheduler.schedule(queue, ctx);
@@ -1337,6 +1356,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                            static_cast<double>(round_id)));
       }
 
+      // Clear before apply_plan: the displacements it records belong to
+      // the *next* round's delta.
+      dirty_jobs.clear();
       apply_plan(plan);
       last_round = now;
       // Keep rounds firing while jobs wait: time-varying priorities

@@ -19,8 +19,14 @@ threshold AND slows down by at least --min-delta-ms in absolute terms.
     diff_bench.py [--threshold=0.20] [--min-delta-ms=0.25] \
         [--key=round_seconds] baseline.json current.json
 
-Exit status: 0 clean, 1 regression (or malformed input), 2 when the two
-files share no sweep points (wrong baseline checked in).
+Exit status: 0 clean, 1 regression / missing or unreadable baseline /
+malformed input, 2 when the two files share no sweep points (wrong
+baseline checked in). A point missing the compared metric is only a
+warning — the point is skipped and the rest still gate — because an
+older baseline predating a new metric must not mask regressions in the
+metrics it does have. A missing *file* is never soft: in CI that means
+the baseline was not checked in (or the bench never wrote its output),
+and silently passing would disable the gate entirely.
 """
 
 import argparse
@@ -36,11 +42,15 @@ def load_points(path, key):
     for p in doc.get("sweep", []):
         ident = (p["config"], p["jobs"], p["threads"])
         value = p.get(key)
+        if value is None:
+            print(f"diff_bench: warning: {path}: point {ident} lacks "
+                  f"{key!r}; skipped", file=sys.stderr)
+            continue
         if not isinstance(value, (int, float)) or value <= 0:
             raise ValueError(f"{path}: point {ident} has bad {key!r}: {value!r}")
         points[ident] = float(value)
     if not points:
-        raise ValueError(f"{path}: no sweep points")
+        raise ValueError(f"{path}: no sweep points with metric {key!r}")
     return points
 
 
@@ -59,9 +69,18 @@ def main():
 
     try:
         base = load_points(args.baseline, args.key)
+    except OSError as e:
+        print(f"diff_bench: baseline missing or unreadable: {e}\n"
+              f"diff_bench: commit a baseline at {args.baseline} "
+              f"(run the sweep locally and copy its JSON)", file=sys.stderr)
+        return 1
+    except (ValueError, KeyError) as e:
+        print(f"diff_bench: malformed baseline: {e}", file=sys.stderr)
+        return 1
+    try:
         cur = load_points(args.current, args.key)
     except (OSError, ValueError, KeyError) as e:
-        print(f"diff_bench: {e}", file=sys.stderr)
+        print(f"diff_bench: cannot read current sweep: {e}", file=sys.stderr)
         return 1
 
     shared = sorted(set(base) & set(cur))
