@@ -3,11 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 
@@ -16,10 +19,6 @@
 namespace muri::obs {
 
 namespace {
-
-// Enough for any sane request line + headers; longer requests are answered
-// from whatever fit (the path is all we look at).
-constexpr std::size_t kMaxRequest = 8192;
 
 void send_all(int fd, const char* data, std::size_t len) {
   std::size_t off = 0;
@@ -30,19 +29,54 @@ void send_all(int fd, const char* data, std::size_t len) {
   }
 }
 
-void send_response(int fd, const char* status, const char* content_type,
-                   const std::string& body) {
-  std::string head = "HTTP/1.1 ";
-  head += status;
-  head += "\r\nContent-Type: ";
-  head += content_type;
-  head += "\r\nContent-Length: " + std::to_string(body.size());
-  head += "\r\nConnection: close\r\n\r\n";
-  send_all(fd, head.data(), head.size());
-  send_all(fd, body.data(), body.size());
+// Case-insensitively pulls a header's value out of the raw header block
+// (request line included — no header starts with a space, so it cannot
+// collide). Returns false when absent.
+bool header_value(const std::string& head, const char* name,
+                  std::string& out) {
+  const std::size_t name_len = std::strlen(name);
+  std::size_t pos = 0;
+  while (pos < head.size()) {
+    std::size_t eol = head.find("\r\n", pos);
+    if (eol == std::string::npos) eol = head.size();
+    if (eol - pos > name_len && head[pos + name_len] == ':') {
+      bool match = true;
+      for (std::size_t i = 0; i < name_len && match; ++i) {
+        match = std::tolower(static_cast<unsigned char>(head[pos + i])) ==
+                std::tolower(static_cast<unsigned char>(name[i]));
+      }
+      if (match) {
+        std::size_t v = pos + name_len + 1;
+        while (v < eol && (head[v] == ' ' || head[v] == '\t')) ++v;
+        out = head.substr(v, eol - v);
+        return true;
+      }
+    }
+    pos = eol + 2;
+  }
+  return false;
 }
 
 }  // namespace
+
+const char* http_status_line(int status) {
+  switch (status) {
+    case 200: return "200 OK";
+    case 201: return "201 Created";
+    case 202: return "202 Accepted";
+    case 204: return "204 No Content";
+    case 400: return "400 Bad Request";
+    case 404: return "404 Not Found";
+    case 405: return "405 Method Not Allowed";
+    case 408: return "408 Request Timeout";
+    case 409: return "409 Conflict";
+    case 410: return "410 Gone";
+    case 413: return "413 Payload Too Large";
+    case 429: return "429 Too Many Requests";
+    case 503: return "503 Service Unavailable";
+    default: return "500 Internal Server Error";
+  }
+}
 
 bool HttpExporter::start(int port, std::string* error) {
   if (listen_fd_.load() >= 0) {
@@ -121,49 +155,151 @@ void HttpExporter::serve() {
   }
 }
 
+void HttpExporter::respond(
+    int fd, int status, const char* content_type, const std::string& body,
+    const std::vector<std::pair<std::string, std::string>>* extra_headers) {
+  std::string head = "HTTP/1.1 ";
+  head += http_status_line(status);
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  if (extra_headers != nullptr) {
+    for (const auto& [name, value] : *extra_headers) {
+      head += "\r\n" + name + ": " + value;
+    }
+  }
+  head += "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+  if (request_metrics_ != nullptr) {
+    request_metrics_
+        ->counter("muri_http_responses_total",
+                  "HTTP responses sent, by status code",
+                  {{"code", std::to_string(status)}})
+        .inc();
+  }
+}
+
 void HttpExporter::handle_connection(int fd) {
-  // Read until the end of headers (or the cap); only the request line
-  // matters.
+  // A stalled client trips the recv timeout instead of wedging the
+  // single-threaded accept loop.
+  if (read_timeout_ms_ > 0) {
+    timeval tv{};
+    tv.tv_sec = read_timeout_ms_ / 1000;
+    tv.tv_usec = (read_timeout_ms_ % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  // Read until the end of headers, bounded.
   std::string request;
   char buf[1024];
-  while (request.size() < kMaxRequest &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  std::size_t header_end;
+  while (true) {
+    header_end = request.find("\r\n\r\n");
+    if (header_end != std::string::npos) break;
+    if (request.size() > max_header_bytes_) {
+      respond(fd, 413, "text/plain", "request headers too large\n");
+      return;
+    }
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!request.empty()) {
+        respond(fd, 408, "text/plain", "request read timed out\n");
+      }
+      return;
+    }
+    if (n <= 0) {
+      if (request.empty()) return;
+      // Torn request with no terminator: parse what arrived (the path may
+      // still be answerable, matching the historical behavior).
+      header_end = request.size();
+      break;
+    }
     request.append(buf, static_cast<std::size_t>(n));
   }
-  if (request.empty()) return;
 
-  // "GET <path> HTTP/1.x"
+  // "<METHOD> <path> HTTP/1.x"
   const std::size_t method_end = request.find(' ');
-  if (method_end == std::string::npos) {
-    send_response(fd, "400 Bad Request", "text/plain", "bad request\n");
+  if (method_end == std::string::npos || method_end > header_end) {
+    respond(fd, 400, "text/plain", "bad request\n");
     return;
   }
   const std::size_t path_end = request.find(' ', method_end + 1);
-  const std::string path =
-      path_end == std::string::npos
-          ? std::string()
-          : request.substr(method_end + 1, path_end - method_end - 1);
+  HttpRequest req;
+  req.method = request.substr(0, method_end);
+  req.path = path_end == std::string::npos || path_end > header_end
+                 ? std::string()
+                 : request.substr(method_end + 1, path_end - method_end - 1);
 
-  if (request.compare(0, method_end, "GET") != 0) {
-    send_response(fd, "405 Method Not Allowed", "text/plain",
-                  "only GET is supported\n");
+  // Body, when declared. Oversized declarations are rejected before a
+  // single body byte is read.
+  const std::string head = request.substr(0, header_end);
+  std::string value;
+  std::size_t content_length = 0;
+  if (header_value(head, "Content-Length", value)) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
+    if (end == value.c_str()) {
+      respond(fd, 400, "text/plain", "bad content-length\n");
+      return;
+    }
+    if (parsed > max_body_bytes_) {
+      respond(fd, 413, "text/plain", "request body too large\n");
+      return;
+    }
+    content_length = static_cast<std::size_t>(parsed);
+  }
+  if (content_length > 0) {
+    // curl sends Expect: 100-continue for larger bodies and waits for the
+    // interim response before transmitting.
+    if (header_value(head, "Expect", value) &&
+        value.find("100-continue") != std::string::npos) {
+      static const char kContinue[] = "HTTP/1.1 100 Continue\r\n\r\n";
+      send_all(fd, kContinue, sizeof(kContinue) - 1);
+    }
+    std::string body = header_end + 4 <= request.size()
+                           ? request.substr(header_end + 4)
+                           : std::string();
+    while (body.size() < content_length) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        respond(fd, 408, "text/plain", "request read timed out\n");
+        return;
+      }
+      if (n <= 0) return;  // client went away mid-body
+      body.append(buf, static_cast<std::size_t>(n));
+    }
+    body.resize(content_length);
+    req.body = std::move(body);
+  }
+
+  // The mounted handler sees every request first; a decline falls through
+  // to the built-in routes.
+  if (handler_) {
+    HttpResponse resp;
+    if (handler_(req, resp)) {
+      respond(fd, resp.status, resp.content_type.c_str(), resp.body,
+              &resp.extra_headers);
+      return;
+    }
+  }
+
+  if (req.method != "GET") {
+    respond(fd, 405, "text/plain", "only GET is supported\n");
     return;
   }
-  if (path == "/metrics") {
-    send_response(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
-                  registry_.prometheus_text());
-  } else if (path == "/metrics.json") {
-    send_response(fd, "200 OK", "application/json",
-                  registry_.json_snapshot());
-  } else if (path == "/healthz") {
+  if (req.path == "/metrics") {
+    respond(fd, 200, "text/plain; version=0.0.4; charset=utf-8",
+            registry_.prometheus_text());
+  } else if (req.path == "/metrics.json") {
+    respond(fd, 200, "application/json", registry_.json_snapshot());
+  } else if (req.path == "/healthz") {
     // Liveness probe: answering at all is the signal, so the body is a
     // constant — no registry access, no locks.
-    send_response(fd, "200 OK", "text/plain", "ok\n");
+    respond(fd, 200, "text/plain", "ok\n");
   } else {
-    send_response(fd, "404 Not Found", "text/plain",
-                  "try /metrics, /metrics.json, or /healthz\n");
+    respond(fd, 404, "text/plain",
+            "try /metrics, /metrics.json, or /healthz\n");
   }
 }
 

@@ -1,17 +1,29 @@
-// Minimal live-metrics HTTP endpoint — the "scrape it" door into the
-// metrics registry.
+// Minimal loopback HTTP server — the metrics peephole grown into the
+// service control plane's front door.
 //
 // A single background thread runs a blocking accept loop on a loopback
-// socket and answers three routes:
+// socket. Three routes are built in:
 //
 //   GET /metrics        Prometheus text exposition (text/plain; version=0.0.4)
 //   GET /metrics.json   the registry's JSON snapshot
 //   GET /healthz        liveness probe (200, body "ok\n", no registry access)
 //
-// anything else is a 404 (with Content-Length, like every response). Requests are served one at a time with
-// Connection: close — this is an operator peephole for `curl` and a
-// single Prometheus scraper, not a web server. The registry handles are
-// thread-safe, so scraping a run in flight is safe by construction.
+// An optional handler (set_handler) is consulted *before* the built-ins
+// and may claim any method/path — this is how the service daemon
+// (src/service) mounts POST /jobs, GET /jobs/<id>, DELETE /jobs/<id> on
+// the same listener. A request the handler declines falls through to the
+// built-in routes: non-GET methods get 405, unknown paths 404 (both with
+// Content-Length, like every response).
+//
+// Parsing is hardened against abusive clients: the request line + headers
+// are bounded (413 when exceeded), a declared Content-Length above the
+// body cap is rejected with 413 before the body is read, and every
+// connection carries a read timeout — a client that stalls mid-request
+// gets 408 instead of wedging the accept loop (set_limits tunes all
+// three). Requests are served one at a time with Connection: close — an
+// operator peephole and a single-scraper/loadgen door, not a web server.
+// The registry handles are thread-safe, so scraping a run in flight is
+// safe by construction.
 //
 // Opt-in via --metrics-port in bench_util and examples/live_interleave;
 // port 0 binds an ephemeral port (see port() after start), which is what
@@ -20,15 +32,45 @@
 #pragma once
 
 #include <atomic>
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace muri::obs {
 
 class MetricsRegistry;
 
+// A parsed inbound request: method and path verbatim from the request
+// line, body exactly Content-Length bytes (empty when absent).
+struct HttpRequest {
+  std::string method;
+  std::string path;
+  std::string body;
+};
+
+// What a handler fills in. `status` is the numeric code (the reason
+// phrase is derived); `extra_headers` lets a handler attach e.g.
+// Retry-After for 429 backpressure.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain";
+  std::string body;
+  std::vector<std::pair<std::string, std::string>> extra_headers;
+};
+
+// Maps a status code to its full "<code> <reason>" status line token
+// (unknown codes fall back to "500 Internal Server Error").
+const char* http_status_line(int status);
+
 class HttpExporter {
  public:
+  // Returns true if it handled the request (the response is sent as
+  // filled in), false to fall through to the built-in routes.
+  using Handler = std::function<bool(const HttpRequest&, HttpResponse&)>;
+
   explicit HttpExporter(const MetricsRegistry& registry)
       : registry_(registry) {}
   ~HttpExporter() { stop(); }
@@ -52,6 +94,28 @@ class HttpExporter {
     bind_backoff_ms_ = initial_backoff_ms > 0 ? initial_backoff_ms : 1;
   }
 
+  // Mounts the routing handler. Call before start(); the serving thread
+  // reads it without synchronization.
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  // Parser hardening knobs. `max_header_bytes` bounds the request line +
+  // headers, `max_body_bytes` the declared Content-Length (413 beyond
+  // either); `read_timeout_ms` is the per-recv stall budget (408 on
+  // expiry; 0 disables). Call before start().
+  void set_limits(std::size_t max_header_bytes, std::size_t max_body_bytes,
+                  int read_timeout_ms) {
+    max_header_bytes_ = max_header_bytes;
+    max_body_bytes_ = max_body_bytes;
+    read_timeout_ms_ = read_timeout_ms;
+  }
+
+  // Optional HTTP-level accounting (response counters by status code,
+  // `muri_http_responses_total`). Null — the default — records nothing.
+  // Call before start().
+  void set_request_metrics(MetricsRegistry* metrics) {
+    request_metrics_ = metrics;
+  }
+
   // Shuts the listener down and joins the serving thread. Idempotent.
   void stop();
 
@@ -62,8 +126,16 @@ class HttpExporter {
  private:
   void serve();
   void handle_connection(int fd);
+  // Sends the response and bumps the per-status counter when accounting
+  // is attached.
+  void respond(int fd, int status, const char* content_type,
+               const std::string& body,
+               const std::vector<std::pair<std::string, std::string>>*
+                   extra_headers = nullptr);
 
   const MetricsRegistry& registry_;
+  Handler handler_;
+  MetricsRegistry* request_metrics_ = nullptr;
   std::thread thread_;
   // Shared with the serving thread (its accept loop re-reads it each
   // iteration), so stop() can retire the socket race-free.
@@ -71,6 +143,9 @@ class HttpExporter {
   int port_ = 0;
   int bind_attempts_ = 5;
   int bind_backoff_ms_ = 50;
+  std::size_t max_header_bytes_ = 8192;
+  std::size_t max_body_bytes_ = 1 << 20;
+  int read_timeout_ms_ = 5000;
 };
 
 }  // namespace muri::obs

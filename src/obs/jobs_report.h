@@ -1,0 +1,61 @@
+// Per-job service latency report over a decision stream (the
+// `muri-report jobs` subcommand, and the loadgen's validation hook).
+//
+// Folds a decision log — from the batch simulator or the service daemon —
+// into one row per job: when it entered the system (job_submit for daemon
+// logs, arrival for simulator logs), when it was first placed, and when
+// it finished or was cancelled, plus its preemption/restart counts. The
+// derived latencies are the service-level quantities the daemon's SLOs
+// care about: submit→scheduled wait and submit→finished JCT. Renderers
+// are byte-stable: the same records produce the same bytes, so CI can
+// diff reports across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/provenance.h"
+
+namespace muri::obs {
+
+struct JobLatencyRow {
+  std::int64_t job = -1;
+  double submit_t = -1;           // job_submit/arrival "t"; -1 unknown
+  double first_scheduled_t = -1;  // first placement containing the job
+  double end_t = -1;              // finish or cancel "t"
+  bool finished = false;
+  bool cancelled = false;
+  std::int64_t preemptions = 0;
+  std::int64_t restarts = 0;
+
+  bool has_wait() const {
+    return submit_t >= 0 && first_scheduled_t >= 0;
+  }
+  double wait() const { return first_scheduled_t - submit_t; }
+  bool has_jct() const { return finished && submit_t >= 0 && end_t >= 0; }
+  double jct() const { return end_t - submit_t; }
+};
+
+struct JobsReport {
+  std::vector<JobLatencyRow> rows;  // ascending by job id
+  std::int64_t finished = 0;
+  std::int64_t cancelled = 0;
+  std::int64_t in_flight = 0;  // submitted, neither finished nor cancelled
+
+  bool empty() const { return rows.empty(); }
+};
+
+// Folds parsed decision records into the per-job table. Records that do
+// not mention a job are ignored; unknown record types are skipped (the
+// log's forward-compatibility contract).
+JobsReport build_jobs_report(const std::vector<DecisionRecord>& records);
+
+// Renderers. Text is a human table with wait/JCT percentiles; CSV is one
+// header plus a row per job; JSON carries rows and the percentile
+// summary. All byte-stable for a given report.
+std::string jobs_report_text(const JobsReport& report);
+std::string jobs_report_csv(const JobsReport& report);
+std::string jobs_report_json(const JobsReport& report);
+
+}  // namespace muri::obs

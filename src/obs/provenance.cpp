@@ -376,6 +376,17 @@ bool check_record_schema(const JsonValue& rec, const std::string& type,
                                       {"makespan", 'n'},
                                       {"finished", 'n'},
                                       {"unfinished", 'n'}};
+  // Service-daemon lifecycle records (src/service).
+  static const FieldSpec kJobSubmit[] = {{"t", 'n'},
+                                         {"job", 'n'},
+                                         {"model", 's'},
+                                         {"gpus", 'n'},
+                                         {"iterations", 'n'}};
+  static const FieldSpec kJobProgress[] = {
+      {"t", 'n'}, {"job", 'n'}, {"done", 'n'}};
+  static const FieldSpec kDaemonStart[] = {
+      {"t", 'n'}, {"machines", 'n'}, {"gpus", 'n'}};
+  static const FieldSpec kDaemonStop[] = {{"t", 'n'}};
 
   struct Schema {
     const char* type;
@@ -405,6 +416,12 @@ bool check_record_schema(const JsonValue& rec, const std::string& type,
       {"machine_up", kMachineEvent, std::size(kMachineEvent)},
       {"finish", kFinish, std::size(kFinish)},
       {"sim_end", kSimEnd, std::size(kSimEnd)},
+      {"job_submit", kJobSubmit, std::size(kJobSubmit)},
+      {"job_cancel", kJobEvent, std::size(kJobEvent)},
+      {"job_progress", kJobProgress, std::size(kJobProgress)},
+      {"job_restore", kJobProgress, std::size(kJobProgress)},
+      {"daemon_start", kDaemonStart, std::size(kDaemonStart)},
+      {"daemon_stop", kDaemonStop, std::size(kDaemonStop)},
   };
   for (const auto& schema : kSchemas) {
     if (type == schema.type) {

@@ -54,6 +54,12 @@
 //   sim_end       t, makespan, finished, unfinished
 //   exec_group    names:[strings], slots, offsets, mode  (live executor)
 //   exec_result   names:[strings], gamma, killed
+//   job_submit    t, job, model, gpus, iterations [, name]  (service daemon)
+//   job_cancel    t, job, reason
+//   job_progress  t, job, done          (graceful-shutdown checkpoint)
+//   job_restore   t, job, done          (WAL recovery re-admission)
+//   daemon_start  t, machines, gpus [, resumed]
+//   daemon_stop   t [, reason]
 //
 // Edge/matched indices address the sibling "nodes" arrays of the same
 // record; everything else is in job ids.
@@ -134,6 +140,16 @@ class DecisionLog {
   }
   std::int64_t current_round() const noexcept {
     return round_.load(std::memory_order_relaxed);
+  }
+  // Continues round numbering from a prior log (daemon restart: the
+  // recovered WAL's highest round becomes the floor, so resumed rounds
+  // never reuse ids). Never moves the counter backwards.
+  void resume_round(std::int64_t round) noexcept {
+    std::int64_t cur = round_.load(std::memory_order_relaxed);
+    while (cur < round &&
+           !round_.compare_exchange_weak(cur, round,
+                                         std::memory_order_relaxed)) {
+    }
   }
 
   // Starts a record of `type`, stamped with current_round(). Records are

@@ -78,9 +78,29 @@ DurableSink::DurableSink(std::string path, DurableSinkOptions options)
       }
     }
     // A missing file is a legal resume (nothing was durable yet).
+  } else if (options_.append_resume) {
+    WalReadResult decoded;
+    std::string io_error;
+    if (read_wal_file(path_, decoded, &io_error)) {
+      if (decoded.torn && !truncate_wal_file(path_, &error_)) {
+        ok_ = false;
+        return;
+      }
+      RecoverResult recovered;
+      if (!recover_wal(path_, recovered, &error_)) {
+        ok_ = false;
+        return;
+      }
+      // Ordinals continue after the durable prefix; no byte-verification
+      // window, so every new record lands in the append branch.
+      ordinal_ = recovered.records_on_disk;
+      if (options_.snapshot_every_records > 0) fold_ = recovered.state;
+    }
+    // A missing file is a legal first start.
   }
-  const int flags = options_.resume ? (O_WRONLY | O_CREAT | O_APPEND)
-                                    : (O_WRONLY | O_CREAT | O_TRUNC);
+  const int flags = options_.resume || options_.append_resume
+                        ? (O_WRONLY | O_CREAT | O_APPEND)
+                        : (O_WRONLY | O_CREAT | O_TRUNC);
   fd_ = ::open(path_.c_str(), flags, 0644);
   if (fd_ < 0) {
     ok_ = false;

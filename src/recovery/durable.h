@@ -53,6 +53,16 @@ struct DurableSinkOptions {
   // Re-attach to an existing WAL (see file comment). Off, the file is
   // truncated and written from scratch.
   bool resume = false;
+  // Append-resume (the service daemon's restart path): re-attach to an
+  // existing WAL *without* byte-verification. A daemon's records carry
+  // wall-clock-derived submit times, so a restarted process cannot
+  // regenerate the old byte stream the way a deterministic re-executed
+  // run can; instead the torn tail is truncated, ordinals continue after
+  // the on-disk records (records_seen() starts at that count, and the
+  // snapshot fold is pre-loaded from the recovered state so cadence
+  // snapshots stay truthful), and every new record appends immediately.
+  // Mutually exclusive with `resume`.
+  bool append_resume = false;
   // Honor MURI_CRASH_AT / MURI_CRASH_TORN (CI crash sweeps only).
   bool honor_crash_env = false;
   // Stop writing (silently) after this many records, as if the process

@@ -228,10 +228,23 @@ bool apply_record(ReplayState& state, const JsonValue& rec,
     state.finished_jobs = as_int(rec.at("finished"));
     state.unfinished_jobs = as_int(rec.at("unfinished"));
     state.run_complete = true;
+  } else if (type == "job_submit") {
+    // Service-daemon admission (src/service): the online twin of arrival.
+    std::int64_t job;
+    if (!job_of(job)) return field_fail("job");
+    state.arrived.insert(job);
+  } else if (type == "job_cancel") {
+    // A cancelled job leaves the system entirely — not queued, not
+    // running, and never a finished/JCT datapoint.
+    std::int64_t job;
+    if (!job_of(job)) return field_fail("job");
+    drop_running_job(state, job);
+    state.arrived.erase(job);
   }
   // Every other type (priority, bucket, match_round, group, deferred,
-  // round_end, placement_skip, degraded_continue, exec_*) carries no
-  // state replay tracks beyond the counters already bumped.
+  // round_end, placement_skip, degraded_continue, exec_*, job_progress,
+  // job_restore, daemon_start, daemon_stop) carries no state replay
+  // tracks beyond the counters already bumped.
   return true;
 }
 

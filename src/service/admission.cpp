@@ -1,0 +1,58 @@
+#include "service/admission.h"
+
+#include <algorithm>
+
+namespace muri::service {
+
+bool AdmissionQueue::try_push(QueuedSubmission submission) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.size() >= capacity_) {
+    ++stats_.rejected_full;
+    return false;
+  }
+  queue_.push_back(std::move(submission));
+  ++stats_.accepted;
+  return true;
+}
+
+std::vector<QueuedSubmission> AdmissionQueue::drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<QueuedSubmission> out(queue_.begin(), queue_.end());
+  queue_.clear();
+  stats_.drained += static_cast<std::int64_t>(out.size());
+  return out;
+}
+
+bool AdmissionQueue::cancel(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::find_if(
+      queue_.begin(), queue_.end(),
+      [id](const QueuedSubmission& s) { return s.id == id; });
+  if (it == queue_.end()) return false;
+  queue_.erase(it);
+  ++stats_.cancelled;
+  return true;
+}
+
+std::vector<QueuedSubmission> AdmissionQueue::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<QueuedSubmission>(queue_.begin(), queue_.end());
+}
+
+bool AdmissionQueue::contains(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [id](const QueuedSubmission& s) { return s.id == id; });
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+AdmissionQueue::Stats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace muri::service

@@ -1,0 +1,599 @@
+#include "service/daemon.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "job/model.h"
+#include "obs/json.h"
+#include "recovery/wal.h"
+#include "scheduler/baselines.h"
+#include "scheduler/muri.h"
+
+namespace muri::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string fmt_num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void json_error(obs::HttpResponse& resp, int status, const std::string& what) {
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = "{\"error\":\"" + json_escape(what) + "\"}\n";
+}
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
+  if (name == "muri-l") {
+    return std::make_unique<MuriScheduler>();
+  }
+  if (name == "muri-s") {
+    MuriOptions opt;
+    opt.durations_known = true;
+    return std::make_unique<MuriScheduler>(opt);
+  }
+  if (name == "fifo") return std::make_unique<FifoScheduler>();
+  if (name == "srtf") return std::make_unique<SrtfScheduler>();
+  if (name == "srsf") return std::make_unique<SrsfScheduler>();
+  return nullptr;
+}
+
+std::string job_status_json(const JobStatus& st) {
+  std::string out = "{\"job\":" + std::to_string(st.id);
+  out += ",\"state\":\"";
+  out += to_string(st.phase);
+  out += "\",\"model\":\"";
+  out += muri::to_string(st.model);
+  out += "\"";
+  if (!st.name.empty()) out += ",\"name\":\"" + json_escape(st.name) + "\"";
+  out += ",\"gpus\":" + std::to_string(st.num_gpus);
+  out += ",\"iterations\":" + std::to_string(st.iterations);
+  out += ",\"done\":" + fmt_num(st.done_iterations);
+  out += ",\"submit_t\":" + fmt_num(st.submit_time);
+  if (st.first_scheduled >= 0) {
+    out += ",\"first_scheduled_t\":" + fmt_num(st.first_scheduled);
+  }
+  if (st.end_time >= 0) out += ",\"end_t\":" + fmt_num(st.end_time);
+  out += ",\"preemptions\":" + std::to_string(st.preemptions);
+  out += "}";
+  return out;
+}
+
+std::string admitted_json(const QueuedSubmission& s) {
+  std::string out = "{\"job\":" + std::to_string(s.id);
+  out += ",\"state\":\"admitted\",\"model\":\"";
+  out += muri::to_string(s.spec.model);
+  out += "\"";
+  if (!s.spec.name.empty()) {
+    out += ",\"name\":\"" + json_escape(s.spec.name) + "\"";
+  }
+  out += ",\"gpus\":" + std::to_string(s.spec.num_gpus);
+  out += ",\"iterations\":" + std::to_string(s.spec.iterations);
+  out += ",\"submit_t\":" + fmt_num(s.submit_time);
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+MuriDaemon::MuriDaemon(DaemonOptions options) : options_(std::move(options)) {}
+
+MuriDaemon::~MuriDaemon() { stop("destructor"); }
+
+Time MuriDaemon::wall_to_sim(Clock::time_point t) const {
+  const double elapsed =
+      std::chrono::duration<double>(t - wall_base_).count();
+  return sim_base_ + elapsed * options_.compression;
+}
+
+Time MuriDaemon::sim_now() const {
+  if (options_.manual_time) return manual_now_;
+  return wall_to_sim(Clock::now());
+}
+
+bool MuriDaemon::recover(std::string* error) {
+  recovery::WalReadResult decoded;
+  std::string io_error;
+  if (!recovery::read_wal_file(options_.wal_path, decoded, &io_error)) {
+    // Nothing durable yet: a first start under --resume is legal.
+    return true;
+  }
+  for (const recovery::WalFrame& frame : decoded.frames) {
+    if (frame.kind != recovery::FrameKind::kRecord) continue;
+    obs::JsonValue rec;
+    if (!obs::parse_json(frame.payload, rec, error)) return false;
+    const std::string& type = rec.at("type").string;
+    const JobId id = static_cast<JobId>(rec.at("job").number);
+    if (type == "job_submit") {
+      RecoveredJob& job = recovered_[id];
+      ModelKind model;
+      if (!parse_model(rec.at("model").string, model)) {
+        if (error != nullptr) {
+          *error = "WAL job_submit for job " + std::to_string(id) +
+                   " has unknown model '" + rec.at("model").string + "'";
+        }
+        return false;
+      }
+      job.spec.model = model;
+      job.spec.num_gpus = static_cast<int>(rec.at("gpus").number);
+      job.spec.iterations =
+          static_cast<std::int64_t>(rec.at("iterations").number);
+      if (rec.at("name").is_string()) job.spec.name = rec.at("name").string;
+      job.submit_time = rec.at("t").number;
+    } else if (type == "job_restore" || type == "job_progress") {
+      recovered_[id].done = rec.at("done").number;
+    } else if (type == "finish" || type == "job_cancel") {
+      recovered_[id].terminal = true;
+    }
+  }
+
+  recovery::RecoverResult state;
+  if (!recovery::recover_wal(options_.wal_path, state, error)) return false;
+  sim_base_ = state.state.sim_time;
+  log_.resume_round(state.state.round);
+  for (const auto& [id, job] : recovered_) {
+    next_job_id_ = std::max(next_job_id_, id + 1);
+    if (!job.spec.name.empty() && !job.terminal) {
+      name_to_id_[job.spec.name] = id;
+    }
+  }
+  return true;
+}
+
+bool MuriDaemon::start(std::string* error) {
+  scheduler_ = make_scheduler(options_.scheduler);
+  if (scheduler_ == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown scheduler '" + options_.scheduler +
+               "' (expected muri-l, muri-s, fifo, srtf, or srsf)";
+    }
+    return false;
+  }
+
+  if (options_.resume && !options_.wal_path.empty()) {
+    if (!recover(error)) return false;
+  }
+
+  if (!options_.wal_path.empty()) {
+    recovery::DurableSinkOptions sink_opts;
+    sink_opts.fsync = options_.fsync;
+    sink_opts.append_resume = options_.resume;
+    sink_opts.honor_crash_env = options_.honor_crash_env;
+    sink_ = std::make_unique<recovery::DurableSink>(options_.wal_path,
+                                                    sink_opts);
+    if (!sink_->ok()) {
+      if (error != nullptr) *error = sink_->error();
+      return false;
+    }
+    log_.set_sink(sink_.get());
+  }
+  scheduler_->set_decision_log(&log_);
+
+  EngineOptions eng;
+  eng.cluster = options_.cluster;
+  eng.exec = options_.exec;
+  eng.restart_penalty = options_.restart_penalty_s;
+  eng.durations_known = scheduler_->needs_durations();
+  eng.profiler = options_.profiler;
+  eng.decisions = &log_;
+  engine_ = std::make_unique<ServiceEngine>(*scheduler_, eng);
+  queue_ = std::make_unique<AdmissionQueue>(options_.queue_capacity);
+
+  wall_base_ = Clock::now();
+  manual_now_ = sim_base_;
+  last_round_sim_ = sim_base_;
+
+  {
+    auto e = log_.entry("daemon_start");
+    e.num("t", sim_base_)
+        .integer("machines", options_.cluster.num_machines)
+        .integer("gpus", static_cast<std::int64_t>(
+                             options_.cluster.num_machines) *
+                             options_.cluster.gpus_per_machine);
+    if (!recovered_.empty()) e.integer("resumed", 1);
+  }
+  for (const auto& [id, job] : recovered_) {
+    if (job.terminal) continue;
+    engine_->restore(job.spec, id, job.submit_time, job.done, sim_base_);
+    ++recovered_resumed_;
+  }
+
+  exporter_ = std::make_unique<obs::HttpExporter>(registry_);
+  exporter_->set_limits(options_.max_header_bytes, options_.max_body_bytes,
+                        options_.read_timeout_ms);
+  exporter_->set_request_metrics(&registry_);
+  exporter_->set_handler(
+      [this](const obs::HttpRequest& req, obs::HttpResponse& resp) {
+        return handle(req, resp);
+      });
+  if (!exporter_->start(options_.http_port, error)) return false;
+
+  running_.store(true);
+  accepting_.store(true);
+  update_gauges();
+  if (!options_.manual_time) {
+    loop_thread_ = std::thread([this] { loop(); });
+  }
+  return true;
+}
+
+void MuriDaemon::stop(const char* reason) {
+  if (stopped_) return;
+  stopped_ = true;
+  accepting_.store(false);
+  const bool was_running = running_.exchange(false);
+  loop_cv_.notify_all();
+  if (loop_thread_.joinable()) loop_thread_.join();
+
+  if (was_running && engine_ != nullptr) {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    const Time now = sim_now();
+    engine_->advance_to(now);
+    // Persist what the queue still holds: every drained submission writes
+    // a durable job_submit, so a restart re-queues it (no job lost).
+    for (const QueuedSubmission& s : queue_->drain()) {
+      engine_->submit(s.spec, s.id, s.submit_time);
+    }
+    engine_->checkpoint_progress(now);
+    log_.entry("daemon_stop").num("t", now).str("reason", reason);
+    update_gauges();
+  }
+  if (sink_ != nullptr) {
+    sink_->sync();
+    sink_->close();
+  }
+  log_.set_sink(nullptr);
+  if (exporter_ != nullptr) exporter_->stop();
+}
+
+void MuriDaemon::pump(Time now, bool force_round) {
+  engine_->advance_to(now);
+  for (const QueuedSubmission& s : queue_->drain()) {
+    engine_->submit(s.spec, s.id, s.submit_time);
+  }
+  if (engine_->dirty() && !round_pending_) {
+    round_pending_ = true;
+    round_due_ = Clock::now() +
+                 std::chrono::milliseconds(options_.debounce_ms);
+  }
+  const bool debounced =
+      round_pending_ &&
+      (force_round || options_.manual_time || Clock::now() >= round_due_);
+  const bool fallback =
+      engine_->active_jobs() > 0 &&
+      now >= last_round_sim_ + options_.round_interval_s;
+  if (debounced || fallback) {
+    engine_->run_round(now);
+    last_round_sim_ = now;
+    round_pending_ = false;
+  }
+  update_gauges();
+}
+
+void MuriDaemon::step(double sim_dt) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  manual_now_ += sim_dt;
+  pump(manual_now_, false);
+}
+
+void MuriDaemon::loop() {
+  std::unique_lock<std::mutex> lk(loop_mu_);
+  while (running_.load()) {
+    // Pick the earliest reason to wake: the debounce window closing, the
+    // next predicted finish, or the fixed round-interval fallback; cap at
+    // 200ms so clock drift cannot wedge the loop.
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(200);
+    {
+      std::lock_guard<std::mutex> eng(engine_mu_);
+      if (round_pending_) {
+        deadline = std::min(deadline, round_due_);
+      }
+      const Time nf = engine_->next_finish_time();
+      if (std::isfinite(nf) && options_.compression > 0) {
+        const double wall_s = (nf - sim_base_) / options_.compression;
+        deadline = std::min(
+            deadline,
+            wall_base_ + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(wall_s)));
+      }
+      if (engine_->active_jobs() > 0 && options_.compression > 0) {
+        const double wall_s =
+            (last_round_sim_ + options_.round_interval_s - sim_base_) /
+            options_.compression;
+        deadline = std::min(
+            deadline,
+            wall_base_ + std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(wall_s)));
+      }
+    }
+    loop_cv_.wait_until(lk, deadline);
+    if (!running_.load()) break;
+    lk.unlock();
+    {
+      std::lock_guard<std::mutex> eng(engine_mu_);
+      pump(sim_now(), false);
+    }
+    lk.lock();
+  }
+}
+
+void MuriDaemon::update_gauges() {
+  registry_.gauge("muri_daemon_queue_depth", "Admission queue depth")
+      .set(static_cast<double>(queue_->depth()));
+  registry_
+      .gauge("muri_daemon_queue_capacity", "Admission queue capacity")
+      .set(static_cast<double>(queue_->capacity()));
+  registry_.gauge("muri_daemon_active_jobs", "Jobs admitted and unfinished")
+      .set(static_cast<double>(engine_->active_jobs()));
+  registry_.gauge("muri_daemon_running_jobs", "Jobs currently placed")
+      .set(static_cast<double>(engine_->running_jobs()));
+  registry_.gauge("muri_daemon_sim_time", "Simulated clock (seconds)")
+      .set(engine_->last_advance());
+  registry_
+      .gauge("muri_daemon_rounds_total", "Scheduling rounds run")
+      .set(static_cast<double>(engine_->rounds_run()));
+  const AdmissionQueue::Stats st = queue_->stats();
+  registry_
+      .gauge("muri_daemon_submissions_accepted_total",
+             "Submissions accepted into the admission queue")
+      .set(static_cast<double>(st.accepted));
+  registry_
+      .gauge("muri_daemon_submissions_rejected_total",
+             "Submissions rejected with 429 (queue full)")
+      .set(static_cast<double>(st.rejected_full));
+}
+
+std::string MuriDaemon::decisions_jsonl() const { return log_.jsonl(); }
+
+bool MuriDaemon::handle(const obs::HttpRequest& req,
+                        obs::HttpResponse& resp) {
+  std::string path = req.path;
+  bool explain = false;
+  const std::size_t q = path.find('?');
+  if (q != std::string::npos) {
+    const std::string query = path.substr(q + 1);
+    explain = query.find("explain=1") != std::string::npos;
+    path.resize(q);
+  }
+
+  if (path == "/jobs") {
+    if (req.method == "POST") {
+      handle_submit(req, resp);
+      return true;
+    }
+    if (req.method == "GET") {
+      handle_list(resp);
+      return true;
+    }
+    json_error(resp, 405, "use GET or POST on /jobs");
+    return true;
+  }
+  if (path.rfind("/jobs/", 0) == 0) {
+    char* end = nullptr;
+    const long long id = std::strtoll(path.c_str() + 6, &end, 10);
+    if (end == path.c_str() + 6 || *end != '\0') {
+      json_error(resp, 404, "bad job id");
+      return true;
+    }
+    if (req.method == "GET") {
+      handle_job_get(static_cast<JobId>(id), explain, resp);
+      return true;
+    }
+    if (req.method == "DELETE") {
+      handle_job_delete(static_cast<JobId>(id), resp);
+      return true;
+    }
+    json_error(resp, 405, "use GET or DELETE on /jobs/<id>");
+    return true;
+  }
+  if (path == "/decisions" && req.method == "GET") {
+    resp.content_type = "application/x-ndjson";
+    resp.body = log_.jsonl();
+    return true;
+  }
+  return false;  // fall through to /metrics, /metrics.json, /healthz
+}
+
+void MuriDaemon::handle_submit(const obs::HttpRequest& req,
+                               obs::HttpResponse& resp) {
+  if (!accepting_.load()) {
+    resp.extra_headers.emplace_back("Retry-After",
+                                    std::to_string(options_.retry_after_s));
+    json_error(resp, 503, "shutting down");
+    return;
+  }
+  obs::JsonValue body;
+  std::string parse_error;
+  if (!obs::parse_json(req.body, body, &parse_error) || !body.is_object()) {
+    json_error(resp, 400, "body is not a JSON object: " + parse_error);
+    return;
+  }
+  JobSpec spec;
+  if (!body.at("model").is_string() ||
+      !parse_model(body.at("model").string, spec.model)) {
+    json_error(resp, 400, "missing or unknown \"model\"");
+    return;
+  }
+  if (!body.at("gpus").is_number()) {
+    json_error(resp, 400, "missing \"gpus\"");
+    return;
+  }
+  spec.num_gpus = static_cast<int>(body.at("gpus").number);
+  const int total =
+      options_.cluster.num_machines * options_.cluster.gpus_per_machine;
+  if (spec.num_gpus < 1 || spec.num_gpus > total) {
+    json_error(resp, 400,
+               "\"gpus\" must be in [1, " + std::to_string(total) + "]");
+    return;
+  }
+  if (!body.at("iterations").is_number() ||
+      body.at("iterations").number < 1) {
+    json_error(resp, 400, "missing or non-positive \"iterations\"");
+    return;
+  }
+  spec.iterations = static_cast<std::int64_t>(body.at("iterations").number);
+  if (body.at("name").is_string()) spec.name = body.at("name").string;
+  if (body.at("deadline_s").is_number()) {
+    spec.deadline_s = body.at("deadline_s").number;
+  }
+
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  if (!spec.name.empty()) {
+    const auto it = name_to_id_.find(spec.name);
+    if (it != name_to_id_.end()) {
+      resp.status = 200;
+      resp.content_type = "application/json";
+      resp.body = "{\"job\":" + std::to_string(it->second) +
+                  ",\"duplicate\":true}\n";
+      return;
+    }
+  }
+  QueuedSubmission submission;
+  submission.spec = spec;
+  submission.id = next_job_id_++;
+  submission.submit_time = sim_now();
+  if (!queue_->try_push(submission)) {
+    resp.extra_headers.emplace_back("Retry-After",
+                                    std::to_string(options_.retry_after_s));
+    json_error(resp, 429, "admission queue full");
+    update_gauges();
+    return;
+  }
+  if (!spec.name.empty()) name_to_id_[spec.name] = submission.id;
+  update_gauges();
+  loop_cv_.notify_all();
+  resp.status = 202;
+  resp.content_type = "application/json";
+  resp.body = "{\"job\":" + std::to_string(submission.id) + "}\n";
+}
+
+void MuriDaemon::handle_list(obs::HttpResponse& resp) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  std::string out = "{\"jobs\":[";
+  bool first = true;
+  for (const QueuedSubmission& s : queue_->snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    out += admitted_json(s);
+  }
+  for (const JobStatus& st : engine_->list_jobs()) {
+    if (!first) out += ",";
+    first = false;
+    out += job_status_json(st);
+  }
+  out += "],\"sim_t\":" + fmt_num(sim_now()) + "}\n";
+  resp.content_type = "application/json";
+  resp.body = std::move(out);
+}
+
+void MuriDaemon::handle_job_get(JobId id, bool explain,
+                                obs::HttpResponse& resp) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  std::string status_json;
+  JobStatus st;
+  if (engine_->job_status(id, st)) {
+    status_json = job_status_json(st);
+  } else {
+    bool queued = false;
+    for (const QueuedSubmission& s : queue_->snapshot()) {
+      if (s.id == id) {
+        status_json = admitted_json(s);
+        queued = true;
+        break;
+      }
+    }
+    if (!queued) {
+      json_error(resp, 404, "unknown job " + std::to_string(id));
+      return;
+    }
+  }
+  resp.content_type = "application/json";
+  if (!explain) {
+    resp.body = status_json + "\n";
+    return;
+  }
+  std::vector<obs::DecisionRecord> records;
+  std::string why = "null";
+  if (obs::parse_decision_log(log_.jsonl(), records)) {
+    const std::string explained = obs::explain_job_json(records, id);
+    if (!explained.empty()) why = explained;
+  }
+  resp.body =
+      "{\"status\":" + status_json + ",\"explain\":" + why + "}\n";
+}
+
+void MuriDaemon::handle_job_delete(JobId id, obs::HttpResponse& resp) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  const Time now = sim_now();
+  if (queue_->cancel(id)) {
+    // Never reached the engine: no job_submit exists, so record the
+    // cancel for the audit trail only (replay treats an unknown id as a
+    // no-op).
+    log_.entry("job_cancel")
+        .num("t", now)
+        .integer("job", id)
+        .str("reason", "client_queued");
+    update_gauges();
+    resp.content_type = "application/json";
+    resp.body = "{\"job\":" + std::to_string(id) + ",\"cancelled\":true}\n";
+    return;
+  }
+  JobStatus st;
+  if (!engine_->job_status(id, st)) {
+    json_error(resp, 404, "unknown job " + std::to_string(id));
+    return;
+  }
+  if (st.phase == JobPhase::kFinished || st.phase == JobPhase::kCancelled) {
+    json_error(resp, 409,
+               std::string("job already ") + to_string(st.phase));
+    return;
+  }
+  engine_->cancel(id, now, "client");
+  update_gauges();
+  loop_cv_.notify_all();
+  resp.content_type = "application/json";
+  resp.body = "{\"job\":" + std::to_string(id) + ",\"cancelled\":true}\n";
+}
+
+}  // namespace muri::service

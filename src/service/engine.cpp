@@ -1,0 +1,457 @@
+#include "service/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "job/model.h"
+#include "obs/provenance.h"
+
+namespace muri::service {
+
+namespace {
+
+constexpr Duration kInf = std::numeric_limits<Duration>::infinity();
+
+// A job is "done" when its remaining iterations round to nothing; the
+// sub-step arithmetic below lands exactly on finish instants, so the
+// epsilon only absorbs float drift across many advance windows.
+constexpr double kIterEps = 1e-6;
+
+}  // namespace
+
+const char* to_string(JobPhase phase) noexcept {
+  switch (phase) {
+    case JobPhase::kQueued:
+      return "queued";
+    case JobPhase::kRunning:
+      return "running";
+    case JobPhase::kFinished:
+      return "finished";
+    case JobPhase::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+ServiceEngine::ServiceEngine(Scheduler& scheduler, EngineOptions options)
+    : scheduler_(scheduler),
+      options_(std::move(options)),
+      cluster_(options_.cluster),
+      profiler_(options_.profiler) {}
+
+ServiceEngine::JobRecord* ServiceEngine::find(JobId id) {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+const ServiceEngine::JobRecord* ServiceEngine::find(JobId id) const {
+  const auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : &it->second;
+}
+
+void ServiceEngine::mark_dirty(JobId id) { dirty_jobs_.push_back(id); }
+
+void ServiceEngine::submit(const JobSpec& spec, JobId id, Time now) {
+  JobRecord rec;
+  rec.job.id = id;
+  rec.job.model = spec.model;
+  rec.job.num_gpus = spec.num_gpus;
+  rec.job.submit_time = now;
+  rec.job.iterations = spec.iterations;
+  rec.job.profile = model_profile(spec.model, spec.num_gpus);
+  rec.measured = profiler_.profile(rec.job);
+  rec.name = spec.name;
+  rec.deadline_s = spec.deadline_s;
+  jobs_.emplace(id, std::move(rec));
+  ++active_;
+  mark_dirty(id);
+  queue_changed_ = true;
+  if (options_.decisions != nullptr) {
+    auto e = options_.decisions->entry("job_submit");
+    e.num("t", now)
+        .integer("job", id)
+        .str("model", muri::to_string(spec.model))
+        .integer("gpus", spec.num_gpus)
+        .integer("iterations", spec.iterations);
+    if (!spec.name.empty()) e.str("name", spec.name);
+  }
+}
+
+void ServiceEngine::restore(const JobSpec& spec, JobId id, Time original_submit,
+                            double done_iterations, Time now) {
+  JobRecord rec;
+  rec.job.id = id;
+  rec.job.model = spec.model;
+  rec.job.num_gpus = spec.num_gpus;
+  rec.job.submit_time = original_submit;
+  rec.job.iterations = spec.iterations;
+  rec.job.profile = model_profile(spec.model, spec.num_gpus);
+  rec.measured = profiler_.profile(rec.job);
+  rec.name = spec.name;
+  rec.deadline_s = spec.deadline_s;
+  rec.done_iterations =
+      std::min(done_iterations, static_cast<double>(spec.iterations));
+  jobs_.emplace(id, std::move(rec));
+  ++active_;
+  mark_dirty(id);
+  queue_changed_ = true;
+  if (options_.decisions != nullptr) {
+    options_.decisions->entry("job_restore")
+        .num("t", now)
+        .integer("job", id)
+        .num("done", done_iterations);
+  }
+}
+
+bool ServiceEngine::cancel(JobId id, Time now, const char* reason) {
+  JobRecord* rec = find(id);
+  if (rec == nullptr || rec->phase == JobPhase::kFinished ||
+      rec->phase == JobPhase::kCancelled) {
+    return false;
+  }
+  // A cancelled running member simply stops progressing; its interleave
+  // partners keep their current periods until the round this cancel
+  // triggers re-plans them — the same continuation rule the batch
+  // simulator applies to the partners of a finished member.
+  if (rec->phase == JobPhase::kRunning) --running_;
+  rec->phase = JobPhase::kCancelled;
+  rec->end_time = now;
+  rec->period = 0;
+  rec->key = GroupKey{};
+  rec->owner = kNoOwner;
+  --active_;
+  mark_dirty(id);
+  queue_changed_ = true;
+  if (options_.decisions != nullptr) {
+    options_.decisions->entry("job_cancel")
+        .num("t", now)
+        .integer("job", id)
+        .str("reason", reason);
+  }
+  return true;
+}
+
+void ServiceEngine::finish_job(JobRecord& rec, Time t) {
+  rec.phase = JobPhase::kFinished;
+  rec.end_time = t;
+  rec.period = 0;
+  rec.key = GroupKey{};
+  rec.owner = kNoOwner;
+  --active_;
+  --running_;
+  mark_dirty(rec.job.id);
+  queue_changed_ = true;
+  if (options_.decisions != nullptr) {
+    // Identical field set to the simulator's finish record, so
+    // validate_decision_log, replay, and the jobs report read both.
+    options_.decisions->entry("finish")
+        .num("t", t)
+        .integer("job", rec.job.id)
+        .num("jct", t - rec.job.submit_time)
+        .num("queueing", rec.queueing_seconds)
+        .num("running", rec.running_seconds)
+        .num("restart_overhead", rec.restart_overhead_seconds)
+        .integer("preemptions", rec.preemptions);
+  }
+}
+
+Time ServiceEngine::next_finish_time() const {
+  Time next = kInf;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec.phase != JobPhase::kRunning) continue;
+    if (!(rec.period > 0) || std::isinf(rec.period)) continue;
+    const double remaining =
+        static_cast<double>(rec.job.iterations) - rec.done_iterations;
+    if (remaining <= kIterEps) {
+      next = std::min(next, std::max(last_advance_, rec.ready_at));
+      continue;
+    }
+    const Time start = std::max(last_advance_, rec.ready_at);
+    next = std::min(next, start + remaining * rec.period);
+  }
+  return next;
+}
+
+void ServiceEngine::advance_to(Time t) {
+  while (t > last_advance_) {
+    // Sub-step to the earliest finish so completions land on their exact
+    // instants (and free capacity for the round the finish triggers).
+    const Time step_end = std::min(t, std::max(next_finish_time(),
+                                               last_advance_));
+    const Duration dt = step_end - last_advance_;
+    if (dt > 0) {
+      for (auto& [id, rec] : jobs_) {
+        if (rec.phase == JobPhase::kQueued) {
+          rec.queueing_seconds += dt;
+          continue;
+        }
+        if (rec.phase != JobPhase::kRunning) continue;
+        // Placed wall splits into restart-gate stall and effective time.
+        const Time eff_start =
+            std::min(std::max(last_advance_, rec.ready_at), step_end);
+        const Duration overhead = eff_start - last_advance_;
+        const Duration effective = step_end - eff_start;
+        rec.restart_overhead_seconds += overhead;
+        rec.running_seconds += effective;
+        rec.attained_gpu_seconds += effective * rec.job.num_gpus;
+        if (effective > 0 && rec.period > 0 && !std::isinf(rec.period)) {
+          rec.done_iterations =
+              std::min(rec.done_iterations + effective / rec.period,
+                       static_cast<double>(rec.job.iterations));
+        }
+      }
+    }
+    bool finished_any = false;
+    for (auto& [id, rec] : jobs_) {
+      if (rec.phase != JobPhase::kRunning) continue;
+      if (static_cast<double>(rec.job.iterations) - rec.done_iterations <=
+          kIterEps) {
+        finish_job(rec, step_end);
+        finished_any = true;
+      }
+    }
+    last_advance_ = step_end;
+    // A zero-length step that finished nothing cannot make progress
+    // (defensive: next_finish_time() never returns the past otherwise).
+    if (dt <= 0 && !finished_any) break;
+  }
+  last_advance_ = std::max(last_advance_, t);
+}
+
+void ServiceEngine::run_round(Time now) {
+  ++rounds_;
+  queue_changed_ = false;
+
+  // Start-deadline enforcement (the admission exemplar's semantics): a
+  // job still never-scheduled past its deadline is cancelled up front so
+  // the scheduler does not plan around it.
+  std::vector<JobId> overdue;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec.phase == JobPhase::kQueued && rec.deadline_s > 0 &&
+        rec.first_scheduled < 0 &&
+        now - rec.job.submit_time > rec.deadline_s) {
+      overdue.push_back(id);
+    }
+  }
+  for (JobId id : overdue) cancel(id, now, "start_deadline");
+
+  std::vector<JobView> queue;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec.phase != JobPhase::kQueued && rec.phase != JobPhase::kRunning) {
+      continue;
+    }
+    JobView v;
+    v.id = rec.job.id;
+    v.num_gpus = rec.job.num_gpus;
+    v.submit_time = rec.job.submit_time;
+    v.measured = rec.measured;
+    v.attained_service = rec.attained_gpu_seconds;
+    v.age = now - rec.job.submit_time;
+    v.remaining_time =
+        options_.durations_known
+            ? (static_cast<double>(rec.job.iterations) -
+               rec.done_iterations) *
+                  rec.job.profile.iteration_time()
+            : 0.0;
+    v.running = rec.phase == JobPhase::kRunning;
+    queue.push_back(std::move(v));
+  }
+
+  SchedulerContext ctx;
+  ctx.now = now;
+  ctx.total_gpus = cluster_.total_gpus();
+  ctx.gpus_per_machine = options_.cluster.gpus_per_machine;
+  ctx.durations_known = options_.durations_known;
+  ctx.available_gpus = cluster_.available_gpus();
+  std::sort(dirty_jobs_.begin(), dirty_jobs_.end());
+  dirty_jobs_.erase(std::unique(dirty_jobs_.begin(), dirty_jobs_.end()),
+                    dirty_jobs_.end());
+  ctx.dirty_jobs = &dirty_jobs_;
+
+  const std::vector<PlannedGroup> plan = scheduler_.schedule(queue, ctx);
+  // Displacements recorded below belong to the *next* round's delta.
+  dirty_jobs_.clear();
+
+  // Place the plan in order, exactly like the simulator's apply_plan.
+  cluster_.reset();
+  std::set<JobId> placed;
+  struct Admitted {
+    GroupKey key;
+    const PlannedGroup* group;
+    OwnerId owner;
+  };
+  std::vector<Admitted> admitted;
+  OwnerId next_owner = 1;
+  obs::DecisionLog* decisions = options_.decisions;
+
+  for (const PlannedGroup& g : plan) {
+    if (g.members.empty()) continue;
+    bool valid = true;
+    int max_gpus = 0;
+    for (JobId id : g.members) {
+      const JobRecord* rec = find(id);
+      if (rec == nullptr ||
+          (rec->phase != JobPhase::kQueued &&
+           rec->phase != JobPhase::kRunning) ||
+          placed.count(id)) {
+        valid = false;
+        break;
+      }
+      max_gpus = std::max(max_gpus, rec->job.num_gpus);
+    }
+    if (!valid || g.num_gpus < max_gpus) {
+      if (decisions != nullptr) {
+        decisions->entry("placement_skip")
+            .num("t", now)
+            .ids("jobs", g.members)
+            .integer("gpus", g.num_gpus)
+            .str("reason", "invalid");
+      }
+      continue;
+    }
+    if (!cluster_.can_allocate(g.num_gpus)) {
+      if (decisions != nullptr) {
+        decisions->entry("placement_skip")
+            .num("t", now)
+            .ids("jobs", g.members)
+            .integer("gpus", g.num_gpus)
+            .str("reason", "no_capacity")
+            .integer("available_gpus", cluster_.free_gpus());
+      }
+      continue;
+    }
+    const OwnerId owner = next_owner++;
+    const std::vector<GpuId> gpus = cluster_.allocate(owner, g.num_gpus);
+    if (decisions != nullptr) {
+      std::vector<int> machine_ids;
+      for (GpuId gpu : gpus) {
+        const int m = static_cast<int>(cluster_.machine_of(gpu));
+        if (machine_ids.empty() || machine_ids.back() != m) {
+          machine_ids.push_back(m);
+        }
+      }
+      decisions->entry("placement")
+          .num("t", now)
+          .ids("jobs", g.members)
+          .integer("gpus", g.num_gpus)
+          .str("mode", g.mode == GroupMode::kExclusive    ? "exclusive"
+                       : g.mode == GroupMode::kInterleaved ? "interleaved"
+                                                           : "uncoordinated")
+          .ints("machines", machine_ids)
+          .integer("owner", static_cast<std::int64_t>(owner));
+    }
+    GroupKey key;
+    key.members = g.members;
+    std::sort(key.members.begin(), key.members.end());
+    key.mode = g.mode;
+    key.num_gpus = g.num_gpus;
+    for (JobId id : g.members) placed.insert(id);
+    admitted.push_back({std::move(key), &g, owner});
+  }
+
+  std::set<JobId> newly_running;
+  for (const auto& [key, group, owner] : admitted) {
+    const std::size_t p = group->members.size();
+    std::vector<IterationProfile> true_profiles;
+    true_profiles.reserve(p);
+    int max_gpus = 0;
+    int min_gpus = std::numeric_limits<int>::max();
+    for (JobId id : group->members) {
+      const JobRecord& rec = *find(id);
+      true_profiles.push_back(rec.job.profile);
+      max_gpus = std::max(max_gpus, rec.job.num_gpus);
+      min_gpus = std::min(min_gpus, rec.job.num_gpus);
+    }
+    const GroupExecution ex = compute_group_execution(
+        true_profiles, group->mode, max_gpus, min_gpus, group->slots,
+        group->offsets, group->planned_period, /*degraded=*/false,
+        options_.exec);
+
+    for (std::size_t i = 0; i < p; ++i) {
+      JobRecord& rec = *find(group->members[i]);
+      const bool unchanged =
+          rec.phase == JobPhase::kRunning && rec.key == key;
+      if (!unchanged) {
+        if (rec.phase == JobPhase::kRunning) {
+          if (decisions != nullptr) {
+            decisions->entry("restart")
+                .num("t", now)
+                .integer("job", rec.job.id)
+                .str("reason", "regrouped");
+          }
+        } else {
+          ++running_;
+        }
+        rec.key = key;
+        rec.ready_at = now + options_.restart_penalty;
+        if (rec.first_scheduled < 0) rec.first_scheduled = now;
+      }
+      rec.period = ex.periods[i];
+      rec.owner = owner;
+      rec.phase = JobPhase::kRunning;
+      newly_running.insert(rec.job.id);
+    }
+  }
+
+  for (auto& [id, rec] : jobs_) {
+    if (rec.phase != JobPhase::kRunning || newly_running.count(id)) continue;
+    if (decisions != nullptr) {
+      decisions->entry("preempt")
+          .num("t", now)
+          .integer("job", id)
+          .str("reason", "displaced");
+    }
+    rec.phase = JobPhase::kQueued;
+    rec.period = 0;
+    rec.key = GroupKey{};
+    rec.owner = kNoOwner;
+    ++rec.preemptions;
+    --running_;
+    mark_dirty(id);
+  }
+}
+
+std::vector<JobStatus> ServiceEngine::list_jobs() const {
+  std::vector<JobStatus> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, rec] : jobs_) {
+    JobStatus st;
+    (void)job_status(id, st);
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+bool ServiceEngine::job_status(JobId id, JobStatus& out) const {
+  const JobRecord* rec = find(id);
+  if (rec == nullptr) return false;
+  out.id = rec->job.id;
+  out.phase = rec->phase;
+  out.model = rec->job.model;
+  out.name = rec->name;
+  out.num_gpus = rec->job.num_gpus;
+  out.iterations = rec->job.iterations;
+  out.done_iterations = rec->done_iterations;
+  out.submit_time = rec->job.submit_time;
+  out.first_scheduled = rec->first_scheduled;
+  out.end_time = rec->end_time;
+  out.preemptions = rec->preemptions;
+  return true;
+}
+
+void ServiceEngine::checkpoint_progress(Time now) {
+  if (options_.decisions == nullptr) return;
+  for (const auto& [id, rec] : jobs_) {
+    if (rec.phase != JobPhase::kQueued && rec.phase != JobPhase::kRunning) {
+      continue;
+    }
+    if (rec.done_iterations <= 0) continue;
+    options_.decisions->entry("job_progress")
+        .num("t", now)
+        .integer("job", id)
+        .num("done", rec.done_iterations);
+  }
+}
+
+}  // namespace muri::service

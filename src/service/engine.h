@@ -1,0 +1,196 @@
+// ServiceEngine — the online scheduling core of the daemon.
+//
+// The offline simulator (sim/simulator.cpp) owns time: it jumps between
+// events of a closed trace. A live service cannot — jobs arrive, finish,
+// and get cancelled while the clock runs. ServiceEngine is the steppable
+// twin: the same scheduler interface, cluster model, restart-penalty
+// rules, and — via sim/exec_model — the exact same period arithmetic, but
+// driven from outside:
+//
+//   submit()/restore()/cancel()   mutate the job table (and the log)
+//   advance_to(t)                 progresses running jobs to sim time t,
+//                                 emitting finish records as jobs complete
+//   run_round(t)                  one scheduling round: build JobViews,
+//                                 call the scheduler, place the plan
+//   next_finish_time()            the next interesting instant, for the
+//                                 daemon's event loop to sleep until
+//
+// Not modeled (v1): machine faults, stragglers, degraded continuation —
+// the daemon serves the fault-free execution model; the fault machinery
+// stays in the batch simulator (ROADMAP: fold it in with the
+// heterogeneous-cluster work).
+//
+// The engine is deliberately NOT thread-safe: the daemon serializes every
+// call under its own mutex (HTTP handler and event loop alike), which
+// keeps the DecisionLog append order — and therefore the WAL — a single
+// coherent story.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/types.h"
+#include "job/job.h"
+#include "profiler/profiler.h"
+#include "scheduler/scheduler.h"
+#include "service/admission.h"
+#include "sim/exec_model.h"
+
+namespace muri::obs {
+class DecisionLog;
+}  // namespace muri::obs
+
+namespace muri::service {
+
+enum class JobPhase : std::uint8_t {
+  kQueued,     // admitted, waiting for a placement
+  kRunning,    // placed, progressing (or inside a restart-penalty window)
+  kFinished,
+  kCancelled,
+};
+
+const char* to_string(JobPhase phase) noexcept;
+
+// Snapshot of one job for the API (GET /jobs, GET /jobs/<id>).
+struct JobStatus {
+  JobId id = kInvalidJob;
+  JobPhase phase = JobPhase::kQueued;
+  ModelKind model = ModelKind::kResNet18;
+  std::string name;
+  int num_gpus = 1;
+  std::int64_t iterations = 0;
+  double done_iterations = 0;
+  Time submit_time = 0;
+  // Simulated time of the first placement; < 0 while never scheduled.
+  Time first_scheduled = -1;
+  // Simulated completion/cancel time; < 0 while in flight.
+  Time end_time = -1;
+  int preemptions = 0;
+};
+
+struct EngineOptions {
+  ClusterSpec cluster{};
+  ExecModelParams exec{};
+  Duration restart_penalty = 30;
+  bool durations_known = false;
+  ResourceProfiler::Options profiler{};
+  // Decision provenance + durable WAL tap; may be null (no-op).
+  obs::DecisionLog* decisions = nullptr;
+};
+
+class ServiceEngine {
+ public:
+  explicit ServiceEngine(Scheduler& scheduler, EngineOptions options);
+
+  ServiceEngine(const ServiceEngine&) = delete;
+  ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+  // Admits a job at sim time `now` (its queueing clock start). `id` is
+  // the pre-assigned id from the admission path; ids must be fresh and
+  // increasing. Writes a job_submit record.
+  void submit(const JobSpec& spec, JobId id, Time now);
+
+  // WAL-recovery re-admission: the job keeps its original submit time and
+  // checkpointed progress. Writes a job_restore record at `now`.
+  void restore(const JobSpec& spec, JobId id, Time original_submit,
+               double done_iterations, Time now);
+
+  // Cancels a queued or running job. False if unknown or already
+  // finished/cancelled. Writes a job_cancel record with `reason`.
+  bool cancel(JobId id, Time now, const char* reason);
+
+  // Progresses every running job from the last advance point to `t`
+  // (monotone; earlier times are ignored), finishing jobs whose remaining
+  // iterations complete within the window.
+  void advance_to(Time t);
+
+  // One scheduling round at sim time `now` (advance first). Enforces
+  // start deadlines, invokes the scheduler, places the plan, applies
+  // restart penalties, emits placement/preempt/restart records.
+  void run_round(Time now);
+
+  // True when the queue changed since the last round (arrival, finish,
+  // cancel) — the daemon's event-driven round trigger. Preemptions do NOT
+  // set this (they feed only the scheduler's delta set): otherwise any
+  // displacement would re-trigger a round immediately and the debounce
+  // window could never close. Waiting jobs still get rounds from the
+  // daemon's fixed-interval fallback (time-varying priorities must be
+  // able to preempt, exactly like the batch simulator's keep-alive).
+  bool dirty() const noexcept { return queue_changed_; }
+
+  // The earliest simulated instant a running job completes (infinity when
+  // nothing is running) — the event loop's sleep horizon.
+  Time next_finish_time() const;
+
+  // API snapshots.
+  std::vector<JobStatus> list_jobs() const;
+  bool job_status(JobId id, JobStatus& out) const;
+
+  // Jobs not yet finished/cancelled.
+  int active_jobs() const noexcept { return active_; }
+  int running_jobs() const noexcept { return running_; }
+  std::int64_t rounds_run() const noexcept { return rounds_; }
+  Time last_advance() const noexcept { return last_advance_; }
+
+  // Graceful-shutdown checkpoint: one job_progress record per unfinished
+  // job with progress, so a restart resumes iterations instead of
+  // replaying them.
+  void checkpoint_progress(Time now);
+
+  const Cluster& cluster() const noexcept { return cluster_; }
+
+ private:
+  struct GroupKey {
+    std::vector<JobId> members;  // sorted
+    GroupMode mode = GroupMode::kExclusive;
+    int num_gpus = 0;
+    bool operator==(const GroupKey&) const = default;
+  };
+
+  struct JobRecord {
+    Job job;  // ground truth: id, model, gpus, submit, iterations, profile
+    IterationProfile measured;
+    std::string name;
+    JobPhase phase = JobPhase::kQueued;
+    double deadline_s = 0;
+    double done_iterations = 0;
+    double attained_gpu_seconds = 0;
+    double queueing_seconds = 0;
+    double running_seconds = 0;
+    double restart_overhead_seconds = 0;
+    int preemptions = 0;
+    Time ready_at = 0;       // progress gate after (re)start
+    Duration period = 0;     // current wall seconds per iteration
+    GroupKey key;
+    OwnerId owner = kNoOwner;
+    Time first_scheduled = -1;
+    Time end_time = -1;
+  };
+
+  void finish_job(JobRecord& rec, Time t);
+  void mark_dirty(JobId id);
+  JobRecord* find(JobId id);
+  const JobRecord* find(JobId id) const;
+
+  Scheduler& scheduler_;
+  EngineOptions options_;
+  Cluster cluster_;
+  ResourceProfiler profiler_;
+  std::map<JobId, JobRecord> jobs_;
+  // The lifecycle delta handed to the scheduler as ctx.dirty_jobs
+  // (includes displacements); `queue_changed_` is the narrower
+  // round-trigger bit (arrivals, finishes, cancels only).
+  std::vector<JobId> dirty_jobs_;
+  bool queue_changed_ = false;
+  Time last_advance_ = 0;
+  int active_ = 0;
+  int running_ = 0;
+  std::int64_t rounds_ = 0;
+  OwnerId next_owner_ = 1;
+};
+
+}  // namespace muri::service

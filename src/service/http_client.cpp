@@ -1,0 +1,126 @@
+#include "service/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace muri::service {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+
+bool fail(std::string* error, const std::string& what) {
+  if (error != nullptr) *error = what + ": " + std::strerror(errno);
+  return false;
+}
+
+}  // namespace
+
+std::string ClientResponse::header(const std::string& name) const {
+  for (const auto& [k, v] : headers) {
+    if (k == name) return v;
+  }
+  return "";
+}
+
+bool http_request(int port, const std::string& method,
+                  const std::string& path, const std::string& body,
+                  ClientResponse& out, std::string* error) {
+  out = ClientResponse{};
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(error, "socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return fail(error, "connect to 127.0.0.1:" + std::to_string(port));
+  }
+
+  std::string request = method + " " + path + " HTTP/1.1\r\n";
+  request += "Host: 127.0.0.1\r\n";
+  if (!body.empty() || method == "POST" || method == "PUT") {
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    request += "Content-Type: application/json\r\n";
+  }
+  request += "Connection: close\r\n\r\n";
+  request += body;
+
+  const char* data = request.data();
+  std::size_t left = request.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, data, left, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail(error, "send");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return fail(error, "recv");
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (error != nullptr) *error = "truncated response (no header terminator)";
+    return false;
+  }
+  const std::size_t line_end = raw.find("\r\n");
+  const std::string status_line = raw.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) {
+    if (error != nullptr) *error = "malformed status line: " + status_line;
+    return false;
+  }
+  out.status = std::atoi(status_line.c_str() + sp + 1);
+
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = raw.find("\r\n", pos);
+    if (eol == std::string::npos || eol > header_end) eol = header_end;
+    const std::string line = raw.substr(pos, eol - pos);
+    const std::size_t colon = line.find(':');
+    if (colon != std::string::npos) {
+      std::string value = line.substr(colon + 1);
+      const std::size_t first = value.find_first_not_of(" \t");
+      value = first == std::string::npos ? "" : value.substr(first);
+      out.headers.emplace_back(lower(line.substr(0, colon)), value);
+    }
+    pos = eol + 2;
+  }
+  out.body = raw.substr(header_end + 4);
+  return true;
+}
+
+}  // namespace muri::service

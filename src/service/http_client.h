@@ -1,0 +1,29 @@
+// Minimal blocking HTTP/1.0-style client for the daemon's loopback API —
+// just enough for the load generator, the CLI, and the tests to speak to
+// HttpExporter (one request per connection, Connection: close).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace muri::service {
+
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+  // Header name/value pairs in arrival order; names lower-cased.
+  std::vector<std::pair<std::string, std::string>> headers;
+
+  // First value of `name` (lower-case), or "" when absent.
+  std::string header(const std::string& name) const;
+};
+
+// Sends `method path` with `body` to 127.0.0.1:port, reads the full
+// response. False (with `error`) on connect/read failure; HTTP error
+// statuses are a *successful* exchange — check out.status.
+bool http_request(int port, const std::string& method,
+                  const std::string& path, const std::string& body,
+                  ClientResponse& out, std::string* error = nullptr);
+
+}  // namespace muri::service

@@ -1,0 +1,75 @@
+// Shared execution model: how a placed group actually runs (DESIGN.md §5).
+//
+// Given the ground-truth profiles of a group's members and its sharing
+// mode, computes the per-member wall seconds per iteration and the
+// schedule-time γ prediction. This is the single source of truth for the
+// period arithmetic: the offline simulator's apply-plan path, its
+// degraded-group re-plan path, and the online service engine
+// (src/service/engine) all call it, so a job submitted to the live daemon
+// progresses at exactly the rate the batch simulator would charge it.
+//
+//  - exclusive job (or any single member): period = Σ_r t^r; a multi-member
+//    exclusive group time-shares sequentially (period sum as the window).
+//  - interleaved group: max-min fair fluid rates (sim/fluid.h) under demand
+//    inflation (1 + α(p-1)) × ordering penalty T_chosen/T_best ×
+//    mis-planning penalty (barrier pacing gap, Fig. 14) × schedule-quality
+//    penalty (1 + gamma_penalty·(1-γ)), plus a cascade factor for
+//    mixed-GPU groups.
+//  - uncoordinated sharing: the same fluid model with the larger
+//    interference inflation (1+β) and no coordination benefit.
+//
+// The arithmetic (multiplication order included) is bit-identical to the
+// historical inline code in sim/simulator.cpp; tier-1 byte-stability tests
+// pin that equivalence.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "job/model.h"
+#include "scheduler/scheduler.h"
+
+namespace muri {
+
+// The execution-model knobs, a verbatim subset of SimOptions (same names,
+// same defaults — sim/simulator.h documents each).
+struct ExecModelParams {
+  double alpha = 0.02;
+  double gamma_penalty = 0.20;
+  double beta = 0.4;
+  double cascade_penalty = 0.25;
+  double contention_penalty = 0.10;
+  double significant_duty = 0.25;
+  double misplan_penalty = 0.5;
+};
+
+struct GroupExecution {
+  // Wall seconds per iteration for each member (kInf for a starved member).
+  std::vector<Duration> periods;
+  // Schedule-time γ prediction: best-rotation group_efficiency for shared
+  // modes, the solo non-idle fraction for exclusive runs.
+  double gamma_pred = 0;
+  // The mode the group effectively runs under: equal to the input mode,
+  // except that a single-member group always runs exclusively. Degraded
+  // re-plans adopt it; the apply-plan path keeps the planned mode.
+  GroupMode effective_mode = GroupMode::kExclusive;
+};
+
+// Computes the execution of one placed group.
+//
+// `slots`/`offsets`/`planned_period` are the scheduler's rotation schedule
+// for kInterleaved groups (empty/0 when unavailable — a malformed or
+// absent schedule falls back to the fresh best-order plan, paying no
+// ordering penalty but also claiming no planned period). `max_gpus` /
+// `min_gpus` are the extreme per-member GPU demands (the mixed-GPU cascade
+// factor). `degraded` selects the degraded-continuation rules: a
+// multi-member group that is not interleaved shares uncoordinated (the
+// survivors lost their rotation), where the plan path time-shares
+// sequentially.
+GroupExecution compute_group_execution(
+    const std::vector<IterationProfile>& profiles, GroupMode mode,
+    int max_gpus, int min_gpus, const std::vector<Resource>& slots,
+    const std::vector<int>& offsets, Duration planned_period, bool degraded,
+    const ExecModelParams& params);
+
+}  // namespace muri

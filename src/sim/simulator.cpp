@@ -10,11 +10,10 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
-#include "interleave/efficiency.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
-#include "sim/fluid.h"
+#include "sim/exec_model.h"
 
 namespace muri {
 
@@ -98,10 +97,6 @@ struct RunningGroup {
   std::vector<MachineId> machines;
 };
 
-double safe_log2_ratio(int hi, int lo) {
-  return std::log2(static_cast<double>(hi) / static_cast<double>(lo));
-}
-
 }  // namespace
 
 SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
@@ -113,6 +108,16 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
 
   Cluster cluster(options.cluster);
   ResourceProfiler profiler(options.profiler);
+  // The period arithmetic lives in sim/exec_model, shared with the online
+  // service engine; the params mirror SimOptions field for field.
+  ExecModelParams exec_params;
+  exec_params.alpha = options.alpha;
+  exec_params.gamma_penalty = options.gamma_penalty;
+  exec_params.beta = options.beta;
+  exec_params.cascade_penalty = options.cascade_penalty;
+  exec_params.contention_penalty = options.contention_penalty;
+  exec_params.significant_duty = options.significant_duty;
+  exec_params.misplan_penalty = options.misplan_penalty;
   const double fault_rate =
       options.mtbf_hours > 0 ? 1.0 / (options.mtbf_hours * 3600.0) : 0.0;
 
@@ -576,58 +581,28 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     const auto p = g.members.size();
     if (p == 0) return;
     std::vector<IterationProfile> profiles;
-    std::vector<ResourceVector> stages;
     profiles.reserve(p);
-    stages.reserve(p);
     int max_gpus = 0, min_gpus = std::numeric_limits<int>::max();
     for (JobId id : g.members) {
       const JobState& s = states[static_cast<size_t>(id)];
       profiles.push_back(s.job->profile);
-      stages.push_back(s.job->profile.stage_time);
       max_gpus = std::max(max_gpus, s.job->num_gpus);
       min_gpus = std::min(min_gpus, s.job->num_gpus);
     }
 
-    std::vector<Duration> periods(p, 0.0);
-    double gamma_pred = 0;
-    if (p == 1) {
-      // A lone survivor runs exclusively.
-      g.mode = GroupMode::kExclusive;
-      periods[0] = profiles[0].iteration_time();
-      gamma_pred = group_efficiency(stages, periods[0]);
-    } else if (g.mode == GroupMode::kInterleaved) {
-      const InterleavePlan best = plan_interleave(stages);
-      const double gamma_true = group_efficiency(stages, best.period);
-      gamma_pred = gamma_true;
-      FluidOptions fluid;
-      fluid.inflation =
-          (1.0 + options.alpha * static_cast<double>(p - 1)) *
-          (1.0 + options.gamma_penalty *
-                     (1.0 - std::clamp(gamma_true, 0.0, 1.0)));
-      if (max_gpus != min_gpus) {
-        fluid.inflation *= 1.0 + options.cascade_penalty *
-                                     safe_log2_ratio(max_gpus, min_gpus);
-      }
-      fluid.contention_penalty = options.contention_penalty;
-      fluid.significant_duty = options.significant_duty;
-      const std::vector<double> rates = max_min_fair_rates(profiles, fluid);
-      for (size_t i = 0; i < p; ++i) {
-        periods[i] =
-            rates[i] > 0 ? profiles[i].iteration_time() / rates[i] : kInf;
-        states[static_cast<size_t>(g.members[i])].group_gamma = gamma_true;
-      }
-    } else {
-      // Best-case rotation γ as the prediction: the gap to realized shows
-      // what uncoordinated sharing leaves on the table.
-      gamma_pred = group_efficiency(stages, plan_interleave(stages).period);
-      FluidOptions fluid;
-      fluid.inflation = 1.0 + options.beta;
-      fluid.contention_penalty = options.contention_penalty;
-      fluid.significant_duty = options.significant_duty;
-      const std::vector<double> rates = max_min_fair_rates(profiles, fluid);
-      for (size_t i = 0; i < p; ++i) {
-        periods[i] =
-            rates[i] > 0 ? profiles[i].iteration_time() / rates[i] : kInf;
+    // No rotation schedule survives a member loss: the survivors run under
+    // the degraded rules (sim/exec_model) — fresh best-order plan for an
+    // interleaved remnant, uncoordinated sharing otherwise, exclusive for
+    // a lone survivor.
+    const GroupExecution ex =
+        compute_group_execution(profiles, g.mode, max_gpus, min_gpus, {}, {},
+                                0, /*degraded=*/true, exec_params);
+    g.mode = ex.effective_mode;
+    const std::vector<Duration>& periods = ex.periods;
+    const double gamma_pred = ex.gamma_pred;
+    if (g.mode == GroupMode::kInterleaved && p > 1) {
+      for (JobId id : g.members) {
+        states[static_cast<size_t>(id)].group_gamma = gamma_pred;
       }
     }
 
@@ -780,109 +755,27 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
     for (const auto& [key, group, owner] : admitted) {
       const auto p = group->members.size();
       std::vector<IterationProfile> true_profiles;
-      std::vector<ResourceVector> true_stages;
       true_profiles.reserve(p);
-      true_stages.reserve(p);
       int max_gpus = 0, min_gpus = std::numeric_limits<int>::max();
       for (JobId id : group->members) {
         const JobState& s = states[static_cast<size_t>(id)];
         true_profiles.push_back(s.job->profile);
-        true_stages.push_back(s.job->profile.stage_time);
         max_gpus = std::max(max_gpus, s.job->num_gpus);
         min_gpus = std::min(min_gpus, s.job->num_gpus);
       }
 
-      std::vector<Duration> periods(p, 0.0);
-      double gamma_pred = 0;
+      // The shared execution model (sim/exec_model) runs the scheduler's
+      // rotation schedule against the ground-truth profiles.
+      const GroupExecution ex = compute_group_execution(
+          true_profiles, group->mode, max_gpus, min_gpus, group->slots,
+          group->offsets, group->planned_period, /*degraded=*/false,
+          exec_params);
+      const std::vector<Duration>& periods = ex.periods;
+      const double gamma_pred = ex.gamma_pred;
       if (group->mode == GroupMode::kInterleaved && p > 1) {
-        // Validate the scheduler's rotation schedule; fall back to a fresh
-        // best-order plan if it is unusable against the true profiles.
-        std::vector<Resource> slots = group->slots;
-        std::vector<int> offsets = group->offsets;
-        const int s = static_cast<int>(slots.size());
-        bool schedule_ok = offsets.size() == p &&
-                           static_cast<size_t>(s) >= p &&
-                           std::set<Resource>(slots.begin(), slots.end())
-                                   .size() == slots.size();
-        if (schedule_ok) {
-          std::set<int> distinct(offsets.begin(), offsets.end());
-          schedule_ok = distinct.size() == p;
-          for (int o : offsets) {
-            schedule_ok = schedule_ok && o >= 0 && o < s;
-          }
-        }
-        // The chosen stage ordering sets the execution quality: a
-        // misaligned rotation stretches every stage by the ratio of its
-        // period to the best achievable one (Fig. 6 / Fig. 11).
-        const InterleavePlan best = plan_interleave(true_stages);
-        Duration chosen_period = best.period;
-        if (schedule_ok) {
-          chosen_period = group_period(true_stages, slots, offsets);
-        }
-        const double ordering_factor =
-            best.period > 0 ? std::max(1.0, chosen_period / best.period)
-                            : 1.0;
-
-        // Barriers are paced by the *planned* schedule; the relative gap
-        // between planned and true period becomes idle time (Fig. 14).
-        double misplan_factor = 1.0;
-        if (group->planned_period > 0 && chosen_period > 0) {
-          const double gap =
-              std::abs(chosen_period - group->planned_period) /
-              std::max(group->planned_period, chosen_period);
-          misplan_factor = 1.0 + options.misplan_penalty * gap;
-        }
-
-        // Schedule quality: groups with poor best-case γ pipeline badly.
-        const double gamma_true = group_efficiency(true_stages, best.period);
-        gamma_pred = gamma_true;
         for (JobId id : group->members) {
-          states[static_cast<size_t>(id)].group_gamma = gamma_true;
+          states[static_cast<size_t>(id)].group_gamma = gamma_pred;
         }
-        const double quality_factor =
-            1.0 + options.gamma_penalty * (1.0 - std::clamp(gamma_true, 0.0, 1.0));
-
-        FluidOptions fluid;
-        fluid.inflation = (1.0 + options.alpha * static_cast<double>(p - 1)) *
-                          ordering_factor * misplan_factor * quality_factor;
-        if (max_gpus != min_gpus) {
-          fluid.inflation *= 1.0 + options.cascade_penalty *
-                                       safe_log2_ratio(max_gpus, min_gpus);
-        }
-        fluid.contention_penalty = options.contention_penalty;
-        fluid.significant_duty = options.significant_duty;
-        const std::vector<double> rates =
-            max_min_fair_rates(true_profiles, fluid);
-        for (size_t i = 0; i < p; ++i) {
-          periods[i] = rates[i] > 0
-                           ? true_profiles[i].iteration_time() / rates[i]
-                           : kInf;
-        }
-      } else if (group->mode == GroupMode::kUncoordinated && p > 1) {
-        // Best-case rotation γ as the prediction: the realized gap shows
-        // what uncoordinated sharing leaves on the table (§2.1).
-        gamma_pred =
-            group_efficiency(true_stages, plan_interleave(true_stages).period);
-        FluidOptions fluid;
-        fluid.inflation = 1.0 + options.beta;
-        fluid.contention_penalty = options.contention_penalty;
-        fluid.significant_duty = options.significant_duty;
-        const std::vector<double> rates =
-            max_min_fair_rates(true_profiles, fluid);
-        for (size_t i = 0; i < p; ++i) {
-          periods[i] = rates[i] > 0
-                           ? true_profiles[i].iteration_time() / rates[i]
-                           : kInf;
-        }
-      } else {
-        Duration solo_sum = 0;
-        for (size_t i = 0; i < p; ++i) {
-          periods[i] = true_profiles[i].iteration_time();
-          solo_sum += periods[i];
-        }
-        // Solo (or sequential-share) non-idle fraction over the used
-        // resources — 1/k' for a single k'-resource job.
-        gamma_pred = group_efficiency(true_stages, solo_sum);
       }
 
       const std::vector<MachineId>& machines = running_groups.at(owner).machines;

@@ -1,0 +1,186 @@
+// AdmissionQueue unit tests: strict FIFO, capacity-bounded rejection,
+// cancel-while-queued, statistics accounting, and a concurrent
+// submitters-vs-drainer hammer (run under TSan in CI — the queue is the
+// handoff point between HTTP handler threads and the daemon's event
+// loop).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "service/admission.h"
+
+namespace muri::service {
+namespace {
+
+QueuedSubmission make_submission(JobId id, Time t = 0) {
+  QueuedSubmission s;
+  s.spec.model = ModelKind::kResNet18;
+  s.spec.num_gpus = 1;
+  s.spec.iterations = 100;
+  s.id = id;
+  s.submit_time = t;
+  return s;
+}
+
+TEST(AdmissionQueue, DrainPreservesFifoOrder) {
+  AdmissionQueue queue(8);
+  for (JobId id = 0; id < 5; ++id) {
+    EXPECT_TRUE(queue.try_push(make_submission(id, 10.0 * id)));
+  }
+  EXPECT_EQ(queue.depth(), 5u);
+
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 5u);
+  for (JobId id = 0; id < 5; ++id) {
+    EXPECT_EQ(drained[static_cast<std::size_t>(id)].id, id);
+    EXPECT_DOUBLE_EQ(drained[static_cast<std::size_t>(id)].submit_time,
+                     10.0 * id);
+  }
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_TRUE(queue.drain().empty());
+}
+
+TEST(AdmissionQueue, RejectsAtCapacityWithoutLosingQueuedWork) {
+  AdmissionQueue queue(2);
+  EXPECT_TRUE(queue.try_push(make_submission(0)));
+  EXPECT_TRUE(queue.try_push(make_submission(1)));
+  EXPECT_FALSE(queue.try_push(make_submission(2)));
+  EXPECT_FALSE(queue.try_push(make_submission(3)));
+  EXPECT_EQ(queue.depth(), 2u);
+
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 2);
+  EXPECT_EQ(stats.rejected_full, 2);
+
+  // A rejected push leaves the queue intact; draining frees capacity.
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].id, 0);
+  EXPECT_EQ(drained[1].id, 1);
+  EXPECT_TRUE(queue.try_push(make_submission(2)));
+}
+
+TEST(AdmissionQueue, CancelWhileQueuedRemovesOnlyTheTarget) {
+  AdmissionQueue queue(8);
+  for (JobId id = 0; id < 4; ++id) {
+    ASSERT_TRUE(queue.try_push(make_submission(id)));
+  }
+
+  EXPECT_TRUE(queue.contains(1));
+  EXPECT_TRUE(queue.cancel(1));
+  EXPECT_FALSE(queue.contains(1));
+  // Cancelling again (or a never-admitted id) is a miss, not an error.
+  EXPECT_FALSE(queue.cancel(1));
+  EXPECT_FALSE(queue.cancel(99));
+
+  // The survivors keep their relative order.
+  const auto drained = queue.drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].id, 0);
+  EXPECT_EQ(drained[1].id, 2);
+  EXPECT_EQ(drained[2].id, 3);
+
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 4);
+  EXPECT_EQ(stats.cancelled, 1);
+  EXPECT_EQ(stats.drained, 3);
+}
+
+TEST(AdmissionQueue, SnapshotReportsQueuedJobsWithoutDraining) {
+  AdmissionQueue queue(4);
+  ASSERT_TRUE(queue.try_push(make_submission(7, 1.5)));
+  ASSERT_TRUE(queue.try_push(make_submission(8, 2.5)));
+
+  const auto snap = queue.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id, 7);
+  EXPECT_EQ(snap[1].id, 8);
+  // Snapshot is a copy: the queue is untouched.
+  EXPECT_EQ(queue.depth(), 2u);
+  EXPECT_EQ(queue.stats().drained, 0);
+}
+
+TEST(AdmissionQueue, StatsBalanceAcrossAllPaths) {
+  AdmissionQueue queue(3);
+  for (JobId id = 0; id < 5; ++id) queue.try_push(make_submission(id));
+  queue.cancel(0);
+  queue.drain();
+  queue.try_push(make_submission(5));
+  queue.drain();
+
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.accepted, 4);       // 0,1,2 then 5
+  EXPECT_EQ(stats.rejected_full, 2);  // 3,4
+  EXPECT_EQ(stats.cancelled, 1);      // 0
+  EXPECT_EQ(stats.drained, 3);        // 1,2 then 5
+  EXPECT_EQ(stats.accepted, stats.cancelled + stats.drained);
+}
+
+// Concurrent hammer: several submitter threads push disjoint id ranges
+// while a drainer empties the queue. Every accepted submission must come
+// out exactly once, per-submitter order preserved (the queue is globally
+// FIFO, so each thread's ids drain in the order that thread pushed
+// them). This is the test TSan watches in CI.
+TEST(AdmissionQueue, ConcurrentSubmittersAndDrainerLoseNothing) {
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 200;
+  AdmissionQueue queue(16);
+
+  std::atomic<bool> done{false};
+  std::atomic<std::int64_t> accepted{0};
+  std::vector<QueuedSubmission> drained;
+  std::thread drainer([&] {
+    while (!done.load(std::memory_order_acquire) || queue.depth() > 0) {
+      auto batch = queue.drain();
+      drained.insert(drained.end(), batch.begin(), batch.end());
+      if (batch.empty()) std::this_thread::yield();
+    }
+    auto batch = queue.drain();
+    drained.insert(drained.end(), batch.begin(), batch.end());
+  });
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const JobId id = static_cast<JobId>(t) * kPerThread + i;
+        // Retry on backpressure — a client would too (429 + Retry-After).
+        while (!queue.try_push(make_submission(id))) {
+          std::this_thread::yield();
+        }
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  done.store(true, std::memory_order_release);
+  drainer.join();
+
+  ASSERT_EQ(accepted.load(), kSubmitters * kPerThread);
+  ASSERT_EQ(drained.size(),
+            static_cast<std::size_t>(kSubmitters * kPerThread));
+
+  // Exactly-once delivery, and each submitter's ids appear in its own
+  // push order.
+  std::map<JobId, int> seen;
+  std::vector<JobId> last_per_thread(kSubmitters, -1);
+  for (const auto& s : drained) {
+    EXPECT_EQ(++seen[s.id], 1) << "duplicate id " << s.id;
+    const int t = static_cast<int>(s.id / kPerThread);
+    ASSERT_LT(t, kSubmitters);
+    EXPECT_GT(s.id, last_per_thread[static_cast<std::size_t>(t)]);
+    last_per_thread[static_cast<std::size_t>(t)] = s.id;
+  }
+
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.drained, kSubmitters * kPerThread);
+  EXPECT_EQ(stats.accepted, stats.drained);
+}
+
+}  // namespace
+}  // namespace muri::service

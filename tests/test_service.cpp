@@ -1,0 +1,428 @@
+// Service-layer integration tests: MuriDaemon in manual_time mode driven
+// deterministically through the real HTTP listener — submit/status/cancel
+// lifecycle, idempotent names, backpressure (429 + Retry-After), request
+// validation, the decisions endpoint against the schema validator,
+// graceful-stop queue draining, and WAL resume (both after a clean stop
+// and from a crash-image copy of a live WAL). The jobs-report fold is
+// checked against the same daemon-produced log.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/jobs_report.h"
+#include "obs/provenance.h"
+#include "service/daemon.h"
+#include "service/http_client.h"
+
+namespace muri::service {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "muri_service_" + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+DaemonOptions manual_options() {
+  DaemonOptions options;
+  options.manual_time = true;
+  options.cluster.num_machines = 2;
+  options.cluster.gpus_per_machine = 4;
+  options.round_interval_s = 360;
+  return options;
+}
+
+ClientResponse post_json(const MuriDaemon& daemon, const std::string& path,
+                         const std::string& body) {
+  ClientResponse resp;
+  std::string error;
+  EXPECT_TRUE(http_request(daemon.port(), "POST", path, body, resp, &error))
+      << error;
+  return resp;
+}
+
+ClientResponse get(const MuriDaemon& daemon, const std::string& path) {
+  ClientResponse resp;
+  std::string error;
+  EXPECT_TRUE(http_request(daemon.port(), "GET", path, "", resp, &error))
+      << error;
+  return resp;
+}
+
+ClientResponse del(const MuriDaemon& daemon, const std::string& path) {
+  ClientResponse resp;
+  std::string error;
+  EXPECT_TRUE(
+      http_request(daemon.port(), "DELETE", path, "", resp, &error))
+      << error;
+  return resp;
+}
+
+obs::JsonValue parse(const std::string& body) {
+  obs::JsonValue v;
+  std::string error;
+  EXPECT_TRUE(obs::parse_json(body, v, &error)) << error << ": " << body;
+  return v;
+}
+
+// Submits one job, returns its id (asserts 202).
+JobId submit(const MuriDaemon& daemon, const std::string& model, int gpus,
+             long long iterations, const std::string& name = "") {
+  std::string body = "{\"model\":\"" + model +
+                     "\",\"gpus\":" + std::to_string(gpus) +
+                     ",\"iterations\":" + std::to_string(iterations);
+  if (!name.empty()) body += ",\"name\":\"" + name + "\"";
+  body += "}";
+  const auto resp = post_json(daemon, "/jobs", body);
+  EXPECT_EQ(resp.status, 202) << resp.body;
+  const auto json = parse(resp.body);
+  EXPECT_TRUE(json.at("job").is_number()) << resp.body;
+  return static_cast<JobId>(json.at("job").number);
+}
+
+std::string state_of(const MuriDaemon& daemon, JobId id) {
+  const auto resp = get(daemon, "/jobs/" + std::to_string(id));
+  if (resp.status != 200) return "http:" + std::to_string(resp.status);
+  return parse(resp.body).at("state").string;
+}
+
+// Steps the manual clock until the job reaches a terminal state (or the
+// step budget runs out).
+std::string run_to_completion(MuriDaemon& daemon, JobId id,
+                              double step_s = 60, int max_steps = 4000) {
+  for (int i = 0; i < max_steps; ++i) {
+    const std::string state = state_of(daemon, id);
+    if (state == "finished" || state == "cancelled") return state;
+    daemon.step(step_s);
+  }
+  return state_of(daemon, id);
+}
+
+TEST(ServiceDaemon, SubmitRunsAndFinishesAJob) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const JobId id = submit(daemon, "resnet18", 2, 500);
+  // Accepted but not yet drained: the admission queue holds it.
+  EXPECT_EQ(state_of(daemon, id), "admitted");
+
+  daemon.step(0);  // drain + immediate round (manual mode skips debounce)
+  const auto status = parse(get(daemon, "/jobs/" + std::to_string(id)).body);
+  EXPECT_EQ(status.at("state").string, "running");
+  EXPECT_EQ(status.at("model").string, "resnet18");
+  EXPECT_DOUBLE_EQ(status.at("gpus").number, 2);
+
+  EXPECT_EQ(run_to_completion(daemon, id), "finished");
+  const auto done = parse(get(daemon, "/jobs/" + std::to_string(id)).body);
+  EXPECT_GE(done.at("end_t").number, done.at("submit_t").number);
+  EXPECT_DOUBLE_EQ(done.at("done").number, 500);
+
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, StatusExplainEmbedsDecisionHistory) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const JobId id = submit(daemon, "vgg16", 1, 200);
+  daemon.step(0);
+
+  const auto resp =
+      get(daemon, "/jobs/" + std::to_string(id) + "?explain=1");
+  ASSERT_EQ(resp.status, 200);
+  const auto json = parse(resp.body);
+  EXPECT_TRUE(json.at("status").is_object());
+  EXPECT_TRUE(json.at("explain").is_object()) << resp.body;
+  EXPECT_DOUBLE_EQ(json.at("explain").at("job").number,
+                   static_cast<double>(id));
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, DuplicateNameReturnsOriginalJob) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const JobId id = submit(daemon, "bert", 1, 300, "train-a");
+  const auto dup = post_json(
+      daemon, "/jobs",
+      "{\"model\":\"bert\",\"gpus\":1,\"iterations\":300,"
+      "\"name\":\"train-a\"}");
+  EXPECT_EQ(dup.status, 200) << dup.body;  // not 202: nothing new admitted
+  const auto json = parse(dup.body);
+  EXPECT_DOUBLE_EQ(json.at("job").number, static_cast<double>(id));
+  EXPECT_TRUE(json.at("duplicate").boolean) << dup.body;
+
+  // Exactly one job exists.
+  daemon.step(0);
+  const auto list = parse(get(daemon, "/jobs").body);
+  EXPECT_EQ(list.at("jobs").array.size(), 1u);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, FullQueueAnswers429WithRetryAfter) {
+  DaemonOptions options = manual_options();
+  options.queue_capacity = 2;
+  options.retry_after_s = 7;
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  // Manual time: nothing drains until step(), so the queue fills.
+  submit(daemon, "resnet18", 1, 100);
+  submit(daemon, "resnet18", 1, 100);
+  const auto rejected = post_json(
+      daemon, "/jobs", "{\"model\":\"resnet18\",\"gpus\":1,\"iterations\":100}");
+  EXPECT_EQ(rejected.status, 429) << rejected.body;
+  EXPECT_EQ(rejected.header("retry-after"), "7");
+
+  // Draining frees capacity; the retry succeeds.
+  daemon.step(0);
+  submit(daemon, "resnet18", 1, 100);
+  EXPECT_EQ(daemon.queue_stats().rejected_full, 1);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, RejectsMalformedSubmissions) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  EXPECT_EQ(post_json(daemon, "/jobs", "{not json").status, 400);
+  EXPECT_EQ(post_json(daemon, "/jobs",
+                      "{\"model\":\"nosuch\",\"gpus\":1,\"iterations\":1}")
+                .status,
+            400);
+  EXPECT_EQ(post_json(daemon, "/jobs",
+                      "{\"model\":\"resnet18\",\"gpus\":0,\"iterations\":1}")
+                .status,
+            400);
+  EXPECT_EQ(post_json(daemon, "/jobs",
+                      "{\"model\":\"resnet18\",\"gpus\":999,"
+                      "\"iterations\":1}")
+                .status,
+            400);
+  EXPECT_EQ(post_json(daemon, "/jobs",
+                      "{\"model\":\"resnet18\",\"gpus\":1,\"iterations\":0}")
+                .status,
+            400);
+  // Nothing slipped through.
+  EXPECT_EQ(daemon.queue_stats().accepted, 0);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, CancelCoversQueuedRunningAndTerminalStates) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  // Cancel while still in the admission queue: the engine never sees it.
+  const JobId queued = submit(daemon, "resnet18", 1, 100);
+  EXPECT_EQ(del(daemon, "/jobs/" + std::to_string(queued)).status, 200);
+  daemon.step(0);
+  EXPECT_EQ(get(daemon, "/jobs/" + std::to_string(queued)).status, 404);
+
+  // Cancel while running.
+  const JobId running = submit(daemon, "resnet18", 1, 100000);
+  daemon.step(0);
+  ASSERT_EQ(state_of(daemon, running), "running");
+  EXPECT_EQ(del(daemon, "/jobs/" + std::to_string(running)).status, 200);
+  EXPECT_EQ(state_of(daemon, running), "cancelled");
+
+  // A terminal job cannot be cancelled again.
+  EXPECT_EQ(del(daemon, "/jobs/" + std::to_string(running)).status, 409);
+  // Unknown ids are a 404.
+  EXPECT_EQ(del(daemon, "/jobs/12345").status, 404);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, DecisionsEndpointPassesTheSchemaValidator) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const JobId a = submit(daemon, "resnet18", 2, 400);
+  const JobId b = submit(daemon, "vgg19", 2, 400);
+  daemon.step(0);
+  EXPECT_EQ(run_to_completion(daemon, a), "finished");
+  EXPECT_EQ(run_to_completion(daemon, b), "finished");
+
+  const auto resp = get(daemon, "/decisions");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.header("content-type"), "application/x-ndjson");
+  std::string validate_error;
+  EXPECT_TRUE(obs::validate_decision_log(resp.body, &validate_error))
+      << validate_error;
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, JobsReportFoldsTheDaemonLog) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const JobId a = submit(daemon, "resnet18", 1, 300);
+  daemon.step(0);
+  EXPECT_EQ(run_to_completion(daemon, a), "finished");
+  const JobId cancelled = submit(daemon, "bert", 1, 100000);
+  daemon.step(0);
+  EXPECT_EQ(del(daemon, "/jobs/" + std::to_string(cancelled)).status, 200);
+
+  std::vector<obs::DecisionRecord> records;
+  std::string parse_error;
+  ASSERT_TRUE(obs::parse_decision_log(daemon.decisions_jsonl(), records,
+                                      &parse_error))
+      << parse_error;
+  const auto report = obs::build_jobs_report(records);
+  ASSERT_EQ(report.rows.size(), 2u);
+  EXPECT_EQ(report.finished, 1);
+  EXPECT_EQ(report.cancelled, 1);
+  EXPECT_EQ(report.in_flight, 0);
+
+  const auto& row = report.rows[0];
+  EXPECT_EQ(row.job, a);
+  EXPECT_TRUE(row.finished);
+  ASSERT_TRUE(row.has_wait());
+  EXPECT_GE(row.wait(), 0);
+  ASSERT_TRUE(row.has_jct());
+  EXPECT_GT(row.jct(), 0);
+
+  // Renderers are byte-stable: same report, same bytes.
+  EXPECT_EQ(obs::jobs_report_text(report), obs::jobs_report_text(report));
+  EXPECT_EQ(obs::jobs_report_csv(report), obs::jobs_report_csv(report));
+  EXPECT_EQ(obs::jobs_report_json(report), obs::jobs_report_json(report));
+  const std::string csv = obs::jobs_report_csv(report);
+  EXPECT_NE(csv.find("job,state,submit_t,first_scheduled_t"),
+            std::string::npos)
+      << csv;
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, GracefulStopDrainsTheQueueIntoTheWal) {
+  const std::string wal = temp_path("drain.wal");
+  std::remove(wal.c_str());
+  JobId id = kInvalidJob;
+  {
+    DaemonOptions options = manual_options();
+    options.wal_path = wal;
+    MuriDaemon daemon(std::move(options));
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+    // Accepted but never drained by a step: stop() must persist it.
+    id = submit(daemon, "gpt2", 2, 600, "drained-job");
+    daemon.stop();
+  }
+
+  // The restarted daemon recovers the job from the WAL and finishes it.
+  DaemonOptions options = manual_options();
+  options.wal_path = wal;
+  options.resume = true;
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  const auto resp = get(daemon, "/jobs/" + std::to_string(id));
+  ASSERT_EQ(resp.status, 200) << "job lost across restart";
+  const auto json = parse(resp.body);
+  EXPECT_EQ(json.at("model").string, "gpt2");
+  EXPECT_EQ(json.at("name").string, "drained-job");
+  daemon.step(0);
+  EXPECT_EQ(run_to_completion(daemon, id), "finished");
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, ResumesFromACrashImageOfALiveWal) {
+  const std::string wal = temp_path("crash_live.wal");
+  const std::string image = temp_path("crash_image.wal");
+  std::remove(wal.c_str());
+  JobId id = kInvalidJob;
+  double progress_before = 0;
+  {
+    DaemonOptions options = manual_options();
+    options.wal_path = wal;
+    options.fsync = recovery::DurableSinkOptions::Fsync::kEveryRecord;
+    MuriDaemon daemon(std::move(options));
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+    id = submit(daemon, "resnet18", 1, 100000);
+    daemon.step(0);
+    daemon.step(600);
+    const auto json = parse(get(daemon, "/jobs/" + std::to_string(id)).body);
+    EXPECT_EQ(json.at("state").string, "running");
+    progress_before = json.at("done").number;
+    EXPECT_GT(progress_before, 0);
+
+    // Copy the WAL while the daemon is live: the moral equivalent of a
+    // kill -9 — no daemon_stop, no progress checkpoint in the image.
+    spit(image, slurp(wal));
+    daemon.stop();
+  }
+
+  DaemonOptions options = manual_options();
+  options.wal_path = image;
+  options.resume = true;
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  const auto resp = get(daemon, "/jobs/" + std::to_string(id));
+  ASSERT_EQ(resp.status, 200) << "job lost in crash image";
+  // Restored jobs re-enter as queued; the first post-resume round
+  // re-places them.
+  EXPECT_EQ(parse(resp.body).at("state").string, "queued");
+  daemon.step(0);
+  const auto json = parse(get(daemon, "/jobs/" + std::to_string(id)).body);
+  EXPECT_EQ(json.at("state").string, "running");
+  // Submission time survives recovery (the queueing clock is durable).
+  EXPECT_GE(json.at("submit_t").number, 0);
+
+  // The resumed daemon's log still validates, and the job can finish.
+  std::string validate_error;
+  EXPECT_TRUE(
+      obs::validate_decision_log(daemon.decisions_jsonl(), &validate_error))
+      << validate_error;
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, UnknownSchedulerFailsToStart) {
+  DaemonOptions options = manual_options();
+  options.scheduler = "nosuch";
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  EXPECT_FALSE(daemon.start(&error));
+  EXPECT_NE(error.find("nosuch"), std::string::npos) << error;
+}
+
+TEST(ServiceDaemon, MetricsExposeDaemonGauges) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  submit(daemon, "resnet18", 1, 400);
+  daemon.step(0);
+
+  const auto resp = get(daemon, "/metrics");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("muri_daemon_active_jobs"), std::string::npos);
+  EXPECT_NE(resp.body.find("muri_daemon_rounds_total"), std::string::npos);
+  EXPECT_NE(resp.body.find("muri_daemon_sim_time"), std::string::npos);
+  daemon.stop();
+}
+
+}  // namespace
+}  // namespace muri::service

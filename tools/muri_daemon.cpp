@@ -1,0 +1,148 @@
+// muri-daemon — the Muri scheduler as a long-running service
+// (src/service/daemon.h; DESIGN.md "Service architecture").
+//
+//   muri-daemon --port=8080 --wal=daemon.wal
+//   muri-daemon --port=8080 --wal=daemon.wal --resume   # after a crash
+//
+// The job API rides the metrics listener:
+//
+//   curl -X POST -d '{"model":"resnet18","gpus":2,"iterations":1000}' \
+//       http://127.0.0.1:8080/jobs
+//   curl http://127.0.0.1:8080/jobs/0
+//   curl -X DELETE http://127.0.0.1:8080/jobs/0
+//   curl http://127.0.0.1:8080/jobs http://127.0.0.1:8080/metrics
+//
+// SIGTERM/SIGINT triggers a graceful shutdown: stop admitting (503),
+// drain the admission queue into durable job_submit records, checkpoint
+// progress, fsync the WAL, exit 0. --compression speeds the simulated
+// clock for trace replays (see muri-loadgen).
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/daemon.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void on_signal(int) { g_shutdown = 1; }
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: muri-daemon [options]\n"
+      "  --port=N              listen port (default 0 = ephemeral)\n"
+      "  --wal=FILE            durable decision WAL (default: none)\n"
+      "  --resume              recover jobs and clock from the WAL\n"
+      "  --scheduler=NAME      muri-l|muri-s|fifo|srtf|srsf (default muri-l)\n"
+      "  --machines=N          cluster machines (default 8)\n"
+      "  --gpus-per-machine=N  GPUs per machine (default 8)\n"
+      "  --round-interval=S    fallback round interval, sim seconds "
+      "(default 360)\n"
+      "  --debounce-ms=N       arrival-batching window, wall ms (default "
+      "50)\n"
+      "  --compression=X       sim seconds per wall second (default 1)\n"
+      "  --queue-capacity=N    admission queue bound (default 64)\n"
+      "  --fsync=MODE          none|interval|every (default interval)\n"
+      "  --crash-env           honor MURI_CRASH_AT/_TORN (CI crash legs)\n",
+      out);
+}
+
+bool parse_int(const char* s, long long& out) {
+  char* end = nullptr;
+  out = std::strtoll(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool parse_double(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  muri::service::DaemonOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    long long n = 0;
+    double d = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg.rfind("--port=", 0) == 0 &&
+               parse_int(arg.c_str() + 7, n)) {
+      options.http_port = static_cast<int>(n);
+    } else if (arg.rfind("--wal=", 0) == 0) {
+      options.wal_path = arg.substr(6);
+    } else if (arg == "--resume") {
+      options.resume = true;
+    } else if (arg.rfind("--scheduler=", 0) == 0) {
+      options.scheduler = arg.substr(12);
+    } else if (arg.rfind("--machines=", 0) == 0 &&
+               parse_int(arg.c_str() + 11, n)) {
+      options.cluster.num_machines = static_cast<int>(n);
+    } else if (arg.rfind("--gpus-per-machine=", 0) == 0 &&
+               parse_int(arg.c_str() + 19, n)) {
+      options.cluster.gpus_per_machine = static_cast<int>(n);
+    } else if (arg.rfind("--round-interval=", 0) == 0 &&
+               parse_double(arg.c_str() + 17, d)) {
+      options.round_interval_s = d;
+    } else if (arg.rfind("--debounce-ms=", 0) == 0 &&
+               parse_int(arg.c_str() + 14, n)) {
+      options.debounce_ms = static_cast<int>(n);
+    } else if (arg.rfind("--compression=", 0) == 0 &&
+               parse_double(arg.c_str() + 14, d) && d > 0) {
+      options.compression = d;
+    } else if (arg.rfind("--queue-capacity=", 0) == 0 &&
+               parse_int(arg.c_str() + 17, n) && n > 0) {
+      options.queue_capacity = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--fsync=", 0) == 0) {
+      const std::string mode = arg.substr(8);
+      using Fsync = muri::recovery::DurableSinkOptions::Fsync;
+      if (mode == "none") {
+        options.fsync = Fsync::kNone;
+      } else if (mode == "interval") {
+        options.fsync = Fsync::kInterval;
+      } else if (mode == "every") {
+        options.fsync = Fsync::kEveryRecord;
+      } else {
+        std::fprintf(stderr, "muri-daemon: unknown fsync mode '%s'\n",
+                     mode.c_str());
+        return 1;
+      }
+    } else if (arg == "--crash-env") {
+      options.honor_crash_env = true;
+    } else {
+      std::fprintf(stderr, "muri-daemon: unknown flag '%s'\n", arg.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+
+  muri::service::MuriDaemon daemon(std::move(options));
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::fprintf(stderr, "muri-daemon: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%d\n", daemon.port());
+  std::fflush(stdout);
+
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("shutting down\n");
+  std::fflush(stdout);
+  daemon.stop(g_shutdown != 0 ? "signal" : "stop");
+  return 0;
+}

@@ -1,0 +1,311 @@
+// muri-loadgen — replays a Philly-style trace against a live muri-daemon
+// and reports end-to-end service latencies.
+//
+//   muri-loadgen --port=8080 --jobs=200 --compression=500
+//   muri-loadgen --port=8080 --trace=trace.csv --compression=100
+//
+// The generator walks the trace in submit order, sleeping until each
+// job's wall due time (sim submit_time ÷ compression — the daemon must
+// run with the same --compression) and POSTing it to /jobs. Every
+// submission carries an idempotency name ("lg-<i>"), which makes the
+// client's retry loop safe across daemon restarts:
+//
+//   429 (queue full)     wait Retry-After, resubmit
+//   connect/read error   daemon restarting — back off, resubmit
+//   404 while polling    job lost to a crash before its WAL record —
+//                        resubmit under the same name (no duplicates:
+//                        the daemon dedupes by name)
+//
+// After the last submission it polls GET /jobs until every job is
+// finished (or cancelled), with a no-progress stall timeout. Exit 0 only
+// when zero jobs were lost or stuck; the report prints wall-observed
+// submit latency and daemon-reported wait/JCT percentiles.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.h"
+#include "job/model.h"
+#include "job/trace.h"
+#include "obs/json.h"
+#include "service/http_client.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using muri::service::ClientResponse;
+using muri::service::http_request;
+
+struct Options {
+  int port = 0;
+  int jobs = 200;
+  std::uint64_t seed = 1;
+  double compression = 500;
+  std::string trace_path;       // optional CSV (overrides --jobs/--seed)
+  double stall_timeout_s = 60;  // wall seconds without progress
+  bool json = false;
+};
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: muri-loadgen --port=N [options]\n"
+      "  --jobs=N           synthetic trace size (default 200)\n"
+      "  --seed=N           synthetic trace seed (default 1)\n"
+      "  --trace=FILE       replay a trace CSV instead of generating\n"
+      "  --compression=X    sim seconds per wall second; must match the\n"
+      "                     daemon's --compression (default 500)\n"
+      "  --stall-timeout=S  abort after S wall seconds without progress\n"
+      "                     (default 60)\n"
+      "  --json             machine-readable report\n",
+      out);
+}
+
+muri::Trace make_trace(const Options& opts) {
+  if (!opts.trace_path.empty()) {
+    return muri::read_trace_csv(opts.trace_path, "loadgen");
+  }
+  // CI-friendly shape: minutes-scale jobs at a rate that keeps a small
+  // cluster busy, so a 200-job replay at 500x compression lands in tens
+  // of wall seconds.
+  muri::PhillyTraceOptions trace_opts;
+  trace_opts.name = "loadgen";
+  trace_opts.num_jobs = opts.jobs;
+  trace_opts.seed = opts.seed;
+  trace_opts.jobs_per_hour = 3600;
+  trace_opts.duration_log_mean = 5.0;  // e^5 ≈ 150 s median
+  trace_opts.duration_log_sigma = 1.0;
+  trace_opts.min_duration = 30;
+  trace_opts.max_duration = 1200;
+  trace_opts.gpu_count_weights = {0.72, 0.10, 0.09, 0.05, 0.03, 0.01};
+  return muri::generate_philly_like(trace_opts);
+}
+
+std::string submit_body(const muri::Job& job, const std::string& name) {
+  std::string body = "{\"model\":\"";
+  body += muri::to_string(job.model);
+  body += "\",\"gpus\":" + std::to_string(job.num_gpus);
+  body += ",\"iterations\":" + std::to_string(job.iterations);
+  body += ",\"name\":\"" + name + "\"}";
+  return body;
+}
+
+// Submits one job, riding out 429 backpressure and daemon restarts.
+// Returns the daemon-assigned job id, or -1 after `budget` wall seconds.
+long long submit_with_retry(const Options& opts, const muri::Job& job,
+                            const std::string& name, double budget_s) {
+  const Clock::time_point give_up =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(budget_s));
+  int backoff_ms = 50;
+  while (Clock::now() < give_up) {
+    ClientResponse resp;
+    std::string error;
+    if (!http_request(opts.port, "POST", "/jobs", submit_body(job, name),
+                      resp, &error)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, 1000);
+      continue;
+    }
+    if (resp.status == 202 || resp.status == 200) {
+      muri::obs::JsonValue v;
+      if (muri::obs::parse_json(resp.body, v) && v.at("job").is_number()) {
+        return static_cast<long long>(v.at("job").number);
+      }
+      return -1;
+    }
+    if (resp.status == 429 || resp.status == 503) {
+      const std::string retry_after = resp.header("retry-after");
+      int wait_ms = retry_after.empty()
+                        ? backoff_ms
+                        : std::atoi(retry_after.c_str()) * 1000;
+      if (wait_ms <= 0) wait_ms = backoff_ms;
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+      backoff_ms = std::min(backoff_ms * 2, 1000);
+      continue;
+    }
+    std::fprintf(stderr, "muri-loadgen: POST /jobs -> %d: %s\n", resp.status,
+                 resp.body.c_str());
+    return -1;
+  }
+  return -1;
+}
+
+double pct(std::vector<double> xs, double p) {
+  return xs.empty() ? 0.0 : muri::percentile(std::move(xs), p);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg.rfind("--port=", 0) == 0) {
+      opts.port = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opts.jobs = std::atoi(arg.c_str() + 7);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opts.seed = static_cast<std::uint64_t>(
+          std::strtoull(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opts.trace_path = arg.substr(8);
+    } else if (arg.rfind("--compression=", 0) == 0) {
+      opts.compression = std::atof(arg.c_str() + 14);
+    } else if (arg.rfind("--stall-timeout=", 0) == 0) {
+      opts.stall_timeout_s = std::atof(arg.c_str() + 16);
+    } else if (arg == "--json") {
+      opts.json = true;
+    } else {
+      std::fprintf(stderr, "muri-loadgen: unknown flag '%s'\n", arg.c_str());
+      usage(stderr);
+      return 1;
+    }
+  }
+  if (opts.port <= 0 || opts.compression <= 0) {
+    usage(stderr);
+    return 1;
+  }
+
+  const muri::Trace trace = make_trace(opts);
+  const std::size_t n = trace.jobs.size();
+  std::fprintf(stderr,
+               "muri-loadgen: replaying %zu jobs at %gx against "
+               "127.0.0.1:%d\n",
+               n, opts.compression, opts.port);
+
+  // name -> (trace index, daemon job id); ids re-learned on resubmit.
+  std::map<std::string, long long> ids;
+  std::vector<double> submit_latency_ms;  // wall: due time -> accepted
+
+  const Clock::time_point start = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    const muri::Job& job = trace.jobs[i];
+    const double due_wall_s = job.submit_time / opts.compression;
+    const Clock::time_point due =
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(due_wall_s));
+    std::this_thread::sleep_until(due);
+    const std::string name = "lg-" + std::to_string(i);
+    const Clock::time_point before = Clock::now();
+    const long long id =
+        submit_with_retry(opts, job, name, opts.stall_timeout_s);
+    if (id < 0) {
+      std::fprintf(stderr, "muri-loadgen: giving up on job %zu (%s)\n", i,
+                   name.c_str());
+      return 1;
+    }
+    ids[name] = id;
+    submit_latency_ms.push_back(
+        std::chrono::duration<double, std::milli>(Clock::now() - before)
+            .count());
+  }
+
+  // Poll until every job reaches a terminal state; resubmit any id the
+  // daemon no longer knows (lost to a crash before its WAL record).
+  std::set<std::string> open;
+  for (const auto& [name, id] : ids) open.insert(name);
+  std::vector<double> waits;
+  std::vector<double> jcts;
+  std::size_t finished = 0;
+  std::size_t cancelled = 0;
+  Clock::time_point last_progress = Clock::now();
+  std::size_t last_open = open.size();
+
+  while (!open.empty()) {
+    ClientResponse resp;
+    std::string error;
+    if (!http_request(opts.port, "GET", "/jobs", "", resp, &error) ||
+        resp.status != 200) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    } else {
+      muri::obs::JsonValue root;
+      std::map<long long, const muri::obs::JsonValue*> by_id;
+      if (muri::obs::parse_json(resp.body, root)) {
+        for (const muri::obs::JsonValue& j : root.at("jobs").array) {
+          by_id[static_cast<long long>(j.at("job").number)] = &j;
+        }
+      }
+      for (auto it = open.begin(); it != open.end();) {
+        const std::string& name = *it;
+        const auto found = by_id.find(ids[name]);
+        if (found == by_id.end()) {
+          // Unknown to the daemon: resubmit under the same name.
+          const std::size_t idx = static_cast<std::size_t>(
+              std::atoll(name.c_str() + 3));
+          const long long id = submit_with_retry(
+              opts, trace.jobs[idx], name, opts.stall_timeout_s);
+          if (id >= 0) ids[name] = id;
+          ++it;
+          continue;
+        }
+        const std::string& state = found->second->at("state").string;
+        if (state == "finished" || state == "cancelled") {
+          if (state == "finished") {
+            ++finished;
+            const muri::obs::JsonValue& j = *found->second;
+            if (j.at("end_t").is_number() && j.at("submit_t").is_number()) {
+              jcts.push_back(j.at("end_t").number - j.at("submit_t").number);
+            }
+            if (j.at("first_scheduled_t").is_number() &&
+                j.at("submit_t").is_number()) {
+              waits.push_back(j.at("first_scheduled_t").number -
+                              j.at("submit_t").number);
+            }
+          } else {
+            ++cancelled;
+          }
+          it = open.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    if (open.size() < last_open) {
+      last_open = open.size();
+      last_progress = Clock::now();
+    } else if (std::chrono::duration<double>(Clock::now() - last_progress)
+                   .count() > opts.stall_timeout_s) {
+      std::fprintf(stderr,
+                   "muri-loadgen: stalled — %zu jobs stuck after %g s\n",
+                   open.size(), opts.stall_timeout_s);
+      return 1;
+    }
+  }
+
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (opts.json) {
+    std::printf(
+        "{\"jobs\":%zu,\"finished\":%zu,\"cancelled\":%zu,\"lost\":0,"
+        "\"wall_s\":%.3f,"
+        "\"submit_ms\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f},"
+        "\"wait_s\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f},"
+        "\"jct_s\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f}}\n",
+        n, finished, cancelled, wall_s, pct(submit_latency_ms, 50),
+        pct(submit_latency_ms, 90), pct(submit_latency_ms, 99),
+        pct(waits, 50), pct(waits, 90), pct(waits, 99), pct(jcts, 50),
+        pct(jcts, 90), pct(jcts, 99));
+  } else {
+    std::printf("jobs %zu  finished %zu  cancelled %zu  lost 0  wall %.1fs\n",
+                n, finished, cancelled, wall_s);
+    std::printf("submit latency ms  p50 %.2f  p90 %.2f  p99 %.2f\n",
+                pct(submit_latency_ms, 50), pct(submit_latency_ms, 90),
+                pct(submit_latency_ms, 99));
+    std::printf("wait (sim s)       p50 %.1f  p90 %.1f  p99 %.1f\n",
+                pct(waits, 50), pct(waits, 90), pct(waits, 99));
+    std::printf("jct (sim s)        p50 %.1f  p90 %.1f  p99 %.1f\n",
+                pct(jcts, 50), pct(jcts, 90), pct(jcts, 99));
+  }
+  return 0;
+}

@@ -23,6 +23,13 @@
 //   muri-report replay decisions.wal              # human summary
 //   muri-report replay --format=json crash.jsonl  # ReplayState JSON
 //
+// The jobs subcommand renders per-job service latencies
+// (submit → first scheduled → finished, src/obs/jobs_report.h) from the
+// same inputs — typically a daemon WAL:
+//
+//   muri-report jobs daemon.wal                   # table + percentiles
+//   muri-report jobs --format=csv decisions.jsonl
+//
 // A torn tail (crashed writer) is reported on stderr with its byte
 // offset and the valid prefix is replayed — that is the point.
 //
@@ -40,6 +47,7 @@
 #include <vector>
 
 #include "obs/analysis.h"
+#include "obs/jobs_report.h"
 #include "obs/json.h"
 #include "obs/provenance.h"
 #include "recovery/durable.h"
@@ -50,7 +58,7 @@ namespace {
 
 enum class Format { kText, kCsv, kJson };
 
-enum class Mode { kTraceReport, kExplainJob, kExplainRound, kReplay };
+enum class Mode { kTraceReport, kExplainJob, kExplainRound, kReplay, kJobs };
 
 struct Options {
   Format format = Format::kText;
@@ -68,6 +76,8 @@ void usage(std::ostream& os) {
         "       muri-report explain-round N [--format=text|json] [--out=FILE] "
         "DECISIONS.jsonl\n"
         "       muri-report replay [--format=text|json] [--out=FILE] "
+        "WAL-or-DECISIONS-file\n"
+        "       muri-report jobs [--format=text|csv|json] [--out=FILE] "
         "WAL-or-DECISIONS-file\n";
 }
 
@@ -125,6 +135,16 @@ bool parse_args(int argc, char** argv, Options& opts) {
     }
     if (positional.size() != 1) {
       std::cerr << "muri-report: replay takes exactly one WAL or "
+                   "DECISIONS.jsonl file\n";
+      return false;
+    }
+  }
+  // The jobs subcommand has the replay input contract (WAL or JSONL).
+  if (!positional.empty() && positional[0] == "jobs") {
+    opts.mode = Mode::kJobs;
+    positional.erase(positional.begin());
+    if (positional.size() != 1) {
+      std::cerr << "muri-report: jobs takes exactly one WAL or "
                    "DECISIONS.jsonl file\n";
       return false;
     }
@@ -293,12 +313,72 @@ int run_replay(const Options& opts) {
   return emit_output(opts, output) ? 0 : 1;
 }
 
+int run_jobs(const Options& opts) {
+  const std::string& path = opts.traces.front();
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "muri-report: cannot read " << path << '\n';
+    return 1;
+  }
+  // A WAL is re-joined into JSONL (record frames only; snapshots carry
+  // folded state, not job events); a plain dump is used as-is.
+  if (muri::recovery::looks_like_wal(text)) {
+    muri::recovery::WalReadResult decoded;
+    std::string error;
+    if (!muri::recovery::read_wal_file(path, decoded, &error)) {
+      std::cerr << "muri-report: " << path << ": " << error << '\n';
+      return 1;
+    }
+    if (decoded.torn) {
+      std::cerr << "muri-report: " << path
+                << ": warning: torn tail ignored (" << decoded.torn_reason
+                << ")\n";
+    }
+    text.clear();
+    for (const muri::recovery::WalFrame& frame : decoded.frames) {
+      if (frame.kind != muri::recovery::FrameKind::kRecord) continue;
+      text += frame.payload;
+      text += '\n';
+    }
+  }
+  std::string error;
+  std::string tail_warning;
+  std::vector<muri::obs::DecisionRecord> records;
+  if (!muri::obs::parse_decision_log(text, records, &error, &tail_warning)) {
+    std::cerr << "muri-report: " << path << ": " << error << '\n';
+    return 1;
+  }
+  if (!tail_warning.empty()) {
+    std::cerr << "muri-report: " << path << ": warning: " << tail_warning
+              << '\n';
+  }
+  const muri::obs::JobsReport report = muri::obs::build_jobs_report(records);
+  if (report.empty()) {
+    std::cerr << "muri-report: no job records in " << path << '\n';
+    return 2;
+  }
+  std::string output;
+  switch (opts.format) {
+    case Format::kText:
+      output = muri::obs::jobs_report_text(report);
+      break;
+    case Format::kCsv:
+      output = muri::obs::jobs_report_csv(report);
+      break;
+    case Format::kJson:
+      output = muri::obs::jobs_report_json(report);
+      break;
+  }
+  return emit_output(opts, output) ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opts;
   if (!parse_args(argc, argv, opts)) return 1;
   if (opts.mode == Mode::kReplay) return run_replay(opts);
+  if (opts.mode == Mode::kJobs) return run_jobs(opts);
   if (opts.mode != Mode::kTraceReport) return run_explain(opts);
 
   std::string output;
