@@ -47,6 +47,11 @@ void flush_obs() {
                    state.trace_path.c_str());
     }
   }
+  if (state.metrics != nullptr) {
+    // Refresh muri_process_uptime_seconds so the written snapshot carries
+    // the run's duration, not the near-zero value set at init.
+    obs::export_build_info(*state.metrics);
+  }
   if (state.metrics != nullptr && !state.metrics_path.empty()) {
     if (state.metrics->write_prometheus(state.metrics_path)) {
       std::fprintf(stderr, "wrote metrics to %s\n",
@@ -100,6 +105,10 @@ void init_obs(int argc, const char* const* argv) {
   }
   if (!state.metrics_path.empty() || serve_metrics) {
     state.metrics = std::make_unique<obs::MetricsRegistry>();
+    // Every metrics surface identifies its build (muri_build_info,
+    // muri_process_uptime_seconds) so scraped dashboards can tell runs
+    // apart.
+    obs::export_build_info(*state.metrics);
   }
   if (!state.decisions_path.empty()) {
     state.decisions = std::make_unique<obs::DecisionLog>();

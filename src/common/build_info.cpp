@@ -1,0 +1,31 @@
+#include "common/build_info.h"
+
+#include <chrono>
+
+#ifndef MURI_VERSION
+#define MURI_VERSION "0.0.0"
+#endif
+#ifndef MURI_GIT_SHA
+#define MURI_GIT_SHA "unknown"
+#endif
+
+namespace muri {
+
+namespace {
+// Captured when the process loads this TU's statics — close enough to
+// process start for an uptime gauge.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+}  // namespace
+
+const char* build_version() noexcept { return MURI_VERSION; }
+
+const char* build_git_sha() noexcept { return MURI_GIT_SHA; }
+
+double process_uptime_seconds() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       g_process_start)
+      .count();
+}
+
+}  // namespace muri

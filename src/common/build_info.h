@@ -1,0 +1,19 @@
+// Build identity and process uptime, shared by every binary that exports
+// metrics (bench tools, muri-daemon). Values are baked in at configure
+// time via compile definitions on muri_common; uptime is measured from a
+// steady clock captured at process start (first static init of this TU).
+#pragma once
+
+namespace muri {
+
+// Semantic version of this build ("0.9.0"); never null.
+const char* build_version() noexcept;
+
+// Short git commit sha at configure time, or "unknown" outside a
+// checkout; never null.
+const char* build_git_sha() noexcept;
+
+// Wall seconds this process has been alive (steady clock, monotone).
+double process_uptime_seconds() noexcept;
+
+}  // namespace muri

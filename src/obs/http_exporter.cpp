@@ -12,8 +12,10 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <cstdio>
 #include <thread>
 
+#include "common/build_info.h"
 #include "obs/metrics.h"
 
 namespace muri::obs {
@@ -288,15 +290,34 @@ void HttpExporter::handle_connection(int fd) {
     respond(fd, 405, "text/plain", "only GET is supported\n");
     return;
   }
-  if (req.path == "/metrics") {
+  // Built-in routes ignore the query string (the daemon's mounted handler
+  // parses it for its own routes before falling through here).
+  std::string path = req.path;
+  std::string query;
+  const std::size_t qpos = path.find('?');
+  if (qpos != std::string::npos) {
+    query = path.substr(qpos + 1);
+    path.resize(qpos);
+  }
+  if (path == "/metrics") {
     respond(fd, 200, "text/plain; version=0.0.4; charset=utf-8",
             registry_.prometheus_text());
-  } else if (req.path == "/metrics.json") {
+  } else if (path == "/metrics.json") {
     respond(fd, 200, "application/json", registry_.json_snapshot());
-  } else if (req.path == "/healthz") {
-    // Liveness probe: answering at all is the signal, so the body is a
-    // constant — no registry access, no locks.
-    respond(fd, 200, "text/plain", "ok\n");
+  } else if (path == "/healthz") {
+    // Liveness probe for bare exporters (bench binaries): answering at
+    // all is the signal — no registry access, no locks. Hosts with real
+    // health state (the daemon) intercept /healthz in their handler.
+    // ?plain=1 keeps the historical one-word form for shell probes.
+    if (query.find("plain=1") != std::string::npos) {
+      respond(fd, 200, "text/plain", "ok\n");
+    } else {
+      char body[96];
+      std::snprintf(body, sizeof(body),
+                    "{\"status\":\"ok\",\"uptime_s\":%.3f}\n",
+                    process_uptime_seconds());
+      respond(fd, 200, "application/json", body);
+    }
   } else {
     respond(fd, 404, "text/plain",
             "try /metrics, /metrics.json, or /healthz\n");

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstdio>
 
+#include "common/build_info.h"
 #include "common/stats.h"
 
 namespace muri::obs {
@@ -355,6 +356,17 @@ bool MetricsRegistry::write_prometheus(const std::string& path) const {
   if (f == nullptr) return false;
   const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
   return std::fclose(f) == 0 && ok;
+}
+
+void export_build_info(MetricsRegistry& registry) {
+  registry
+      .gauge("muri_build_info", "Build identity; value is always 1.",
+             {{"version", build_version()}, {"git_sha", build_git_sha()}})
+      .set(1.0);
+  registry
+      .gauge("muri_process_uptime_seconds",
+             "Wall seconds since process start.")
+      .set(process_uptime_seconds());
 }
 
 }  // namespace muri::obs

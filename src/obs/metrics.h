@@ -159,4 +159,10 @@ class MetricsRegistry {
       series_;
 };
 
+// Registers the process-identity series every exporting binary shares:
+// muri_build_info (constant 1, version/git_sha labels from
+// common/build_info.h) and muri_process_uptime_seconds. Refreshes the
+// uptime gauge on every call, so call it again just before exporting.
+void export_build_info(MetricsRegistry& registry);
+
 }  // namespace muri::obs

@@ -1,0 +1,100 @@
+// SLO tracker — declarative service-level targets over rolling windows.
+//
+// A target names one quantity (fed as raw observations), a reduction over
+// the rolling window (p99 or max), and a threshold. evaluate() recomputes
+// every target, counts ok->violating edges as violations, and exposes a
+// burn-rate gauge (observed value / threshold; >= 1 means the target is
+// burning). The daemon's watchdog folds the tracker's verdict into
+// /healthz, and `muri-loadgen --assert-slo` turns it into an exit code.
+//
+// Standard target names (used by the daemon, /stats, and muri-report):
+//   queue_wait_s    p99 of job queue wait (simulated seconds)
+//   round_latency_s p99 of scheduling-round wall latency
+//   wal_fsync_s     max WAL fsync latency in the window
+//   loop_stall_s    max observed event-loop stall
+//
+// Like every obs hook the tracker is optional; a default SloConfig has all
+// thresholds disabled and any_enabled() false, and nothing in the
+// scheduling path reads it.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/timeseries.h"
+
+namespace muri::obs {
+
+class MetricsRegistry;
+
+// Declarative targets; thresholds < 0 disable the target.
+struct SloConfig {
+  double window_s = 60.0;          // rolling evaluation window (store clock)
+  double queue_wait_p99_s = -1;    // p99 job queue wait bound
+  double round_latency_p99_s = -1; // p99 scheduling-round wall-latency bound
+  double fsync_max_s = -1;         // max WAL fsync latency bound
+  double loop_stall_max_s = -1;    // max event-loop stall bound
+
+  bool any_enabled() const noexcept {
+    return queue_wait_p99_s >= 0 || round_latency_p99_s >= 0 ||
+           fsync_max_s >= 0 || loop_stall_max_s >= 0;
+  }
+};
+
+class SloTracker {
+ public:
+  enum class Reduce { kP99, kMax };
+
+  // Builds one tracked target per enabled threshold. When `registry` is
+  // non-null, evaluate() mirrors state into muri_slo_violations_total /
+  // muri_slo_burn_rate / muri_slo_violating series labeled by target.
+  explicit SloTracker(const SloConfig& cfg,
+                      MetricsRegistry* registry = nullptr);
+
+  // Feed one raw observation for a target (by standard name). Unknown or
+  // disabled targets are ignored, so callers can observe unconditionally.
+  void observe(const std::string& target, double t, double v);
+
+  // Recompute every target over [now - window_s, now]. A target with no
+  // samples in the window is treated as meeting its SLO.
+  void evaluate(double now);
+
+  struct TargetState {
+    std::string name;
+    double threshold = 0;
+    Reduce reduce = Reduce::kP99;
+    double value = 0;          // reduced window value at last evaluate()
+    double burn_rate = 0;      // value / threshold
+    bool violating = false;
+    std::int64_t violations = 0;  // ok -> violating edges
+    std::int64_t samples = 0;     // samples in window at last evaluate()
+  };
+
+  std::vector<TargetState> targets() const;
+  bool enabled() const;          // any target configured
+  bool ok() const;               // no target currently violating
+  std::string reason() const;    // "a,b" list of violating targets; "" if ok
+  std::int64_t violations_total() const;
+  double window_s() const noexcept { return window_s_; }
+
+  // {"enabled":..,"status":"ok"|"violating","window_s":..,"targets":[...]}
+  // Deterministic for a given tracker state.
+  std::string json() const;
+
+ private:
+  struct Entry {
+    TargetState state;
+    TimeSeries samples{1024};
+  };
+
+  void evaluate_locked(double now);
+
+  mutable std::mutex mu_;
+  double window_s_;
+  std::vector<Entry> entries_;
+  MetricsRegistry* registry_ = nullptr;
+};
+
+}  // namespace muri::obs

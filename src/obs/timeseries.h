@@ -1,0 +1,148 @@
+// Time-series store — the "remember it" half of the live SLO plane.
+//
+// The metrics registry (metrics.h) answers "what is the value now"; this
+// module answers "what has it been doing lately". A TimeSeriesStore holds a
+// fixed-capacity ring buffer per named series, filled either by registered
+// probes (sampled together at a configurable cadence on the daemon event
+// loop) or by explicit event appends (per-round latency, per-fsync cost).
+// Windowed queries reduce the retained points of the last N seconds to
+// min/max/avg/p50/p90/p99 using the same percentile math as the bench
+// tables (common/stats.h), so a p99 served at /metrics/history matches a
+// p99 in a report.
+//
+// Timestamps are caller-supplied doubles in whatever clock domain the
+// caller samples with (the daemon uses wall seconds since process start);
+// the store only requires them to be non-decreasing per series. Like every
+// obs hook, the store is optional: nothing in the scheduling path depends
+// on it existing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace muri::obs {
+
+// Reduction of the points of one series that fall inside a query window.
+struct WindowStats {
+  std::int64_t count = 0;
+  double min = 0;
+  double max = 0;
+  double avg = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double last = 0;        // most recent value in the window
+  double first_time = 0;  // timestamp of the oldest point in the window
+  double last_time = 0;   // timestamp of the newest point in the window
+};
+
+// Fixed-capacity ring buffer of (time, value) points. Oldest points are
+// overwritten once capacity is reached; unlike SeriesRecorder's
+// stride-doubling reservoir this keeps the *recent* window dense, which is
+// what windowed SLO queries need.
+class TimeSeries {
+ public:
+  explicit TimeSeries(std::size_t capacity);
+
+  struct Point {
+    double time;
+    double value;
+  };
+
+  void append(double t, double v);
+
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::int64_t total_appended() const noexcept { return appended_; }
+
+  // Oldest-first copy of the retained points with time >= now - window_s.
+  // window_s <= 0 means "everything retained".
+  std::vector<Point> window(double now, double window_s) const;
+
+  // Reduce the window to summary statistics. count == 0 (all-zero stats)
+  // when no retained point falls inside the window.
+  WindowStats stats(double now, double window_s) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // next write slot
+  std::size_t size_ = 0;
+  std::int64_t appended_ = 0;
+  std::vector<Point> ring_;
+};
+
+// How a probe's raw reading becomes a stored point.
+enum class ProbeKind {
+  kGauge,  // store the reading as-is
+  kRate,   // store d(reading)/dt vs. the previous sample (counters -> rates)
+};
+
+// Named collection of ring-buffer series. Thread-safe: the daemon samples
+// from its event loop while HTTP handlers query concurrently.
+class TimeSeriesStore {
+ public:
+  explicit TimeSeriesStore(std::size_t capacity_per_series = 600);
+
+  using Probe = std::function<double()>;
+
+  // Register a probe evaluated on every sample(). kRate probes store the
+  // per-second derivative of the underlying reading, so a registry counter
+  // probe becomes a throughput series; the first sample of a rate series
+  // is dropped (no previous reading to diff against).
+  void add_probe(const std::string& name, ProbeKind kind, Probe probe);
+
+  // Append one point to a named event series (created on first use) —
+  // for quantities that occur at their own cadence (round latency,
+  // fsync cost) rather than on the sampling clock.
+  void append(const std::string& name, double t, double v);
+
+  // Evaluate all probes at time `now` and store the resulting points.
+  void sample(double now);
+
+  std::size_t samples_taken() const;
+  double last_sample_time() const;
+  std::size_t capacity_per_series() const noexcept { return capacity_; }
+
+  std::vector<std::string> names() const;
+  bool has_series(const std::string& name) const;
+  WindowStats stats(const std::string& name, double now,
+                    double window_s) const;
+  std::vector<TimeSeries::Point> points(const std::string& name, double now,
+                                        double window_s) const;
+
+  // Full dump served at GET /metrics/history: one JSON object
+  //   {"now": .., "window_s": .., "samples": .., "series": {name:
+  //     {"count": .., "min": .., ..., "points": [[t, v], ...]}, ...}}
+  // Series are emitted in name order, so the dump is deterministic for a
+  // given store state.
+  std::string history_json(double now, double window_s,
+                           bool include_points = true) const;
+
+ private:
+  struct Entry {
+    ProbeKind kind = ProbeKind::kGauge;
+    Probe probe;              // null for event series
+    bool has_prev = false;    // rate probes: previous raw reading valid
+    double prev_raw = 0;
+    double prev_time = 0;
+    TimeSeries series;
+    explicit Entry(std::size_t cap) : series(cap) {}
+  };
+
+  Entry& entry_locked(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::size_t samples_ = 0;
+  double last_sample_time_ = 0;
+  // std::map keeps history_json output order deterministic.
+  std::map<std::string, Entry> series_;
+  std::vector<std::string> probe_order_;  // evaluation order = registration
+};
+
+}  // namespace muri::obs

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -114,10 +115,15 @@ void DurableSink::append_frame(FrameKind kind, std::string_view payload) {
   std::string bytes;
   bytes.reserve(kWalHeaderSize + payload.size());
   append_wal_frame(bytes, kind, payload);
+  const auto t0 = std::chrono::steady_clock::now();
   if (!write_all(fd_, bytes.data(), bytes.size())) {
     ok_ = false;
     error_ = "write to " + path_ + " failed: " + std::strerror(errno);
   }
+  io_.append_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  io_.appended_bytes += static_cast<std::int64_t>(bytes.size());
 }
 
 void DurableSink::maybe_fsync() {
@@ -204,10 +210,18 @@ void DurableSink::on_record(std::string_view line) {
 
 bool DurableSink::sync() {
   if (fd_ < 0) return ok_;
+  const auto t0 = std::chrono::steady_clock::now();
   if (::fsync(fd_) != 0) {
     ok_ = false;
     error_ = "fsync of " + path_ + " failed: " + std::strerror(errno);
   }
+  const double cost =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  ++io_.fsyncs;
+  io_.fsync_seconds += cost;
+  io_.last_fsync_seconds = cost;
+  if (cost > io_.max_fsync_seconds) io_.max_fsync_seconds = cost;
   unsynced_ = 0;
   return ok_;
 }

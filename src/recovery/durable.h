@@ -106,6 +106,25 @@ class DurableSink : public obs::DecisionLog::Sink {
     return head_covered_;
   }
 
+  // Cumulative I/O cost of the durable path, feeding the daemon's /stats
+  // dashboard and the wal_fsync_s SLO target. Callers that read this
+  // concurrently with on_record must serialize externally (the daemon
+  // holds its engine mutex for both).
+  struct IoStats {
+    std::int64_t appended_bytes = 0;   // frame bytes handed to write()
+    double append_seconds = 0;         // total wall time inside write()
+    std::int64_t fsyncs = 0;
+    double fsync_seconds = 0;          // total wall time inside fsync()
+    double last_fsync_seconds = 0;
+    double max_fsync_seconds = 0;
+    std::int64_t unsynced_records = 0; // durability lag right now
+  };
+  IoStats io_stats() const noexcept {
+    IoStats s = io_;
+    s.unsynced_records = unsynced_;
+    return s;
+  }
+
  private:
   void append_frame(FrameKind kind, std::string_view payload);
   void maybe_fsync();
@@ -122,6 +141,7 @@ class DurableSink : public obs::DecisionLog::Sink {
   std::int64_t verified_ = 0;
   std::int64_t appended_ = 0;
   std::int64_t unsynced_ = 0;   // records since last fsync
+  IoStats io_;
 
   // Resume bookkeeping.
   std::int64_t head_covered_ = 0;          // ordinals a head snapshot covers

@@ -126,6 +126,21 @@ void export_round_metrics(obs::MetricsRegistry& m, const GroupingStats& round,
   m.summary("muri_sched_round_wall_seconds",
             "End-to-end wall time of schedule()")
       .observe(round_wall_seconds);
+  // Per-phase latency histograms for the live SLO plane's round
+  // breakdown (/stats). One labeled series per phase; exponential bounds
+  // cover sub-100µs sorts through multi-second contended matchings.
+  static const std::vector<double> kPhaseBounds{1e-5, 1e-4, 1e-3, 1e-2,
+                                                0.1,  1.0,  10.0};
+  const auto phase = [&](const char* name, double seconds) {
+    m.histogram("muri_sched_phase_seconds",
+                "Wall seconds per scheduling-round phase", kPhaseBounds,
+                {{"phase", name}})
+        .observe(seconds);
+  };
+  phase("sort", round.priority_sort_seconds);
+  phase("graph_build", round.graph_build_seconds);
+  phase("matching", round.matching_seconds);
+  phase("admission", round.admission_seconds);
 }
 
 }  // namespace
@@ -465,16 +480,28 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
       const std::int64_t dur_us =
           tr.manual_time() ? 0
                            : static_cast<std::int64_t>(wall_seconds * 1e6);
+      obs::TraceArgs args("queue", static_cast<double>(queue.size()),
+                          "groups", static_cast<double>(plan.size()),
+                          "round", static_cast<double>(round_id));
+      // Opt-in only: phase wall times are mode-dependent work counters
+      // (see MuriOptions::trace_phases).
+      if (options_.trace_phases) {
+        args.add("sort_s", last_round_stats_.priority_sort_seconds);
+        args.add("graph_s", last_round_stats_.graph_build_seconds);
+        args.add("match_s", last_round_stats_.matching_seconds);
+        args.add("admit_s", last_round_stats_.admission_seconds);
+      }
       tr.complete(end_us - dur_us, dur_us, "round", "sched",
-                  obs::kSchedulerTrack, 0,
-                  obs::TraceArgs(
-                      "queue", static_cast<double>(queue.size()), "groups",
-                      static_cast<double>(plan.size()), "round",
-                      static_cast<double>(round_id)));
+                  obs::kSchedulerTrack, 0, args);
     }
   };
+  // Phase timer for the live SLO plane's round breakdown. Folded into
+  // cumulative_stats_ by the contended path's accumulate (the uncontended
+  // fast path keeps today's semantics: cumulative counts grouping work).
+  const auto t_sort = Clock::now();
   auto ordered =
       sorted_by_priority(queue, [&](const JobView& v) { return priority_of(v); });
+  last_round_stats_.priority_sort_seconds = seconds_since(t_sort);
   if (dlog != nullptr) {
     {
       auto e = dlog->entry("round_start");
@@ -896,6 +923,10 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
     }
   }
 
+  // Phase timer: group assembly, priority admission, and placement
+  // ordering. cumulative_stats_ was already folded above, so this adds to
+  // both aggregates explicitly.
+  const auto t_admission = Clock::now();
   struct Planned {
     PlannedGroup group;
     double priority;
@@ -973,6 +1004,8 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
     }
   }
   sort_groups_for_placement(admitted);
+  last_round_stats_.admission_seconds = seconds_since(t_admission);
+  cumulative_stats_.admission_seconds += last_round_stats_.admission_seconds;
 
   std::vector<PlannedGroup> plan = std::move(admitted);
   plan.reserve(plan.size() + overflow.size() + rest.size());

@@ -89,6 +89,15 @@ struct MuriOptions {
   // output are bit-identical either way.
   obs::Tracer* trace = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Append the per-phase wall-time breakdown (sort_s/graph_s/match_s/
+  // admit_s) to the round span's trace args. Default OFF and deliberately
+  // so: phase wall times are work measurements that differ between the
+  // rebuild and incremental paths, so embedding them would break the trace
+  // byte-equality the incremental-equivalence CI gate enforces. Flip it on
+  // for interactive profiling only. The same breakdown is always available
+  // mode-safely via GroupingStats and the muri_sched_phase_seconds
+  // histograms.
+  bool trace_phases = false;
   // Decision provenance sink (src/obs/provenance): per-round priority
   // scores, candidate buckets, every γ edge offered to Blossom, and each
   // group's admission verdict. Same contract as the other two hooks —
@@ -108,6 +117,13 @@ struct GroupingStats {
   double graph_build_seconds = 0;
   // Wall seconds inside Blossom matching (summed across buckets).
   double matching_seconds = 0;
+  // Wall seconds in the round's remaining phases (the live SLO plane's
+  // round breakdown): the initial priority sort, and group
+  // assembly/admission/placement ordering after grouping. Like the two
+  // timers above these measure the round that just ran and never appear
+  // in byte-compared outputs.
+  double priority_sort_seconds = 0;
+  double admission_seconds = 0;
   // γ-cache outcomes: a miss is one γ evaluation performed, a hit one
   // avoided — a node pair whose members both survived a previous round's
   // matching unmatched and whose edge weight was therefore already known.
@@ -139,6 +155,8 @@ struct GroupingStats {
   void accumulate(const GroupingStats& other) {
     graph_build_seconds += other.graph_build_seconds;
     matching_seconds += other.matching_seconds;
+    priority_sort_seconds += other.priority_sort_seconds;
+    admission_seconds += other.admission_seconds;
     cache_hits += other.cache_hits;
     cache_misses += other.cache_misses;
     matchings_run += other.matchings_run;

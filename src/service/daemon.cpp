@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "common/build_info.h"
 #include "job/model.h"
 #include "obs/json.h"
 #include "recovery/wal.h"
@@ -57,10 +58,14 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+// Uniform error body for every job-API failure path: {"error": ..,
+// "code": ..} with the HTTP status mirrored into "code" so clients that
+// only see the body (or log it) keep the status.
 void json_error(obs::HttpResponse& resp, int status, const std::string& what) {
   resp.status = status;
   resp.content_type = "application/json";
-  resp.body = "{\"error\":\"" + json_escape(what) + "\"}\n";
+  resp.body = "{\"error\":\"" + json_escape(what) +
+              "\",\"code\":" + std::to_string(status) + "}\n";
 }
 
 std::unique_ptr<Scheduler> make_scheduler(const std::string& name) {
@@ -116,9 +121,64 @@ std::string admitted_json(const QueuedSubmission& s) {
 
 }  // namespace
 
+// Engine-side feed of the live SLO plane. Runs inside engine calls (under
+// engine_mu_), so it only touches self-locking sinks: the registry, the
+// time-series store, and the SLO tracker.
+struct MuriDaemon::Observer final : EngineObserver {
+  explicit Observer(MuriDaemon& daemon) : d(daemon) {}
+
+  void on_first_schedule(Time now, double wait_s) override {
+    (void)now;
+    const double w = d.wall_now();
+    d.registry_
+        .summary("muri_daemon_queue_wait_seconds",
+                 "Simulated seconds from submission to first placement")
+        .observe(wait_s);
+    if (d.slo_ != nullptr) d.slo_->observe("queue_wait_s", w, wait_s);
+    if (d.history_ != nullptr) d.history_->append("queue_wait_s", w, wait_s);
+  }
+
+  void on_job_finish(Time now, double jct_s) override {
+    (void)now;
+    const double w = d.wall_now();
+    d.registry_
+        .summary("muri_daemon_jct_seconds",
+                 "Simulated job completion time (finish - submit)")
+        .observe(jct_s);
+    if (d.history_ != nullptr) d.history_->append("jct_s", w, jct_s);
+  }
+
+  void on_round(Time now, double schedule_s, double place_s) override {
+    (void)now;
+    static const std::vector<double> kBounds{1e-5, 1e-4, 1e-3, 1e-2,
+                                             0.1,  1.0,  10.0};
+    d.registry_
+        .histogram("muri_daemon_round_phase_seconds",
+                   "Wall seconds per engine round phase", kBounds,
+                   {{"phase", "schedule"}})
+        .observe(schedule_s);
+    d.registry_
+        .histogram("muri_daemon_round_phase_seconds",
+                   "Wall seconds per engine round phase", kBounds,
+                   {{"phase", "place"}})
+        .observe(place_s);
+  }
+
+  MuriDaemon& d;
+};
+
 MuriDaemon::MuriDaemon(DaemonOptions options) : options_(std::move(options)) {}
 
 MuriDaemon::~MuriDaemon() { stop("destructor"); }
+
+double MuriDaemon::wall_now() const {
+  return std::chrono::duration<double>(Clock::now() - wall_base_).count();
+}
+
+void MuriDaemon::inject_loop_stall_for_test(double stall_s) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  heartbeat_wall_.store(heartbeat_wall_.load() - stall_s);
+}
 
 Time MuriDaemon::wall_to_sim(Clock::time_point t) const {
   const double elapsed =
@@ -209,6 +269,18 @@ bool MuriDaemon::start(std::string* error) {
   }
   scheduler_->set_decision_log(&log_);
 
+  // Live SLO plane. The store and tracker are nullable hooks; the
+  // observer is always attached (registry summaries back /stats even with
+  // sampling off) and checks them internally.
+  if (options_.sample_interval_s > 0) {
+    history_ =
+        std::make_unique<obs::TimeSeriesStore>(options_.history_capacity);
+  }
+  if (options_.slo.any_enabled()) {
+    slo_ = std::make_unique<obs::SloTracker>(options_.slo, &registry_);
+  }
+  observer_ = std::make_unique<Observer>(*this);
+
   EngineOptions eng;
   eng.cluster = options_.cluster;
   eng.exec = options_.exec;
@@ -216,12 +288,47 @@ bool MuriDaemon::start(std::string* error) {
   eng.durations_known = scheduler_->needs_durations();
   eng.profiler = options_.profiler;
   eng.decisions = &log_;
+  eng.observer = observer_.get();
   engine_ = std::make_unique<ServiceEngine>(*scheduler_, eng);
   queue_ = std::make_unique<AdmissionQueue>(options_.queue_capacity);
 
   wall_base_ = Clock::now();
   manual_now_ = sim_base_;
   last_round_sim_ = sim_base_;
+  heartbeat_wall_.store(0.0);
+  next_sample_wall_ = 0;
+
+  if (history_ != nullptr) {
+    // Sampled-gauge probes read daemon state guarded by engine_mu_;
+    // sample() is only called from pump(), which holds it.
+    history_->add_probe("queue_depth", obs::ProbeKind::kGauge, [this] {
+      return static_cast<double>(queue_->depth());
+    });
+    history_->add_probe("active_jobs", obs::ProbeKind::kGauge, [this] {
+      return static_cast<double>(engine_->active_jobs());
+    });
+    history_->add_probe("running_jobs", obs::ProbeKind::kGauge, [this] {
+      return static_cast<double>(engine_->running_jobs());
+    });
+    history_->add_probe("sim_time", obs::ProbeKind::kGauge,
+                        [this] { return engine_->last_advance(); });
+    history_->add_probe("submission_rate", obs::ProbeKind::kRate, [this] {
+      return static_cast<double>(queue_->stats().accepted);
+    });
+    history_->add_probe("rejection_rate", obs::ProbeKind::kRate, [this] {
+      return static_cast<double>(queue_->stats().rejected_full);
+    });
+    history_->add_probe("round_rate", obs::ProbeKind::kRate, [this] {
+      return static_cast<double>(engine_->rounds_run());
+    });
+    if (sink_ != nullptr) {
+      history_->add_probe("wal_unsynced_records", obs::ProbeKind::kGauge,
+                          [this] {
+                            return static_cast<double>(
+                                sink_->io_stats().unsynced_records);
+                          });
+    }
+  }
 
   {
     auto e = log_.entry("daemon_start");
@@ -250,6 +357,7 @@ bool MuriDaemon::start(std::string* error) {
 
   running_.store(true);
   accepting_.store(true);
+  obs::export_build_info(registry_);
   update_gauges();
   if (!options_.manual_time) {
     loop_thread_ = std::thread([this] { loop(); });
@@ -287,6 +395,20 @@ void MuriDaemon::stop(const char* reason) {
 }
 
 void MuriDaemon::pump(Time now, bool force_round) {
+  // Heartbeat first: measure the gap since the previous pass (the
+  // event-loop stall signal), then refresh. The injection test hook
+  // backdates heartbeat_wall_, which reads as exactly such a gap.
+  const double wnow = wall_now();
+  const double prev_beat = heartbeat_wall_.load();
+  // 0 is the "never beaten" sentinel; a backdated (possibly negative)
+  // heartbeat from the injection hook still reads as a stall.
+  const double stall_s = prev_beat != 0 ? wnow - prev_beat : 0;
+  heartbeat_wall_.store(wnow);
+  if (stall_s > 0) {
+    if (slo_ != nullptr) slo_->observe("loop_stall_s", wnow, stall_s);
+    if (history_ != nullptr) history_->append("loop_stall_s", wnow, stall_s);
+  }
+
   engine_->advance_to(now);
   for (const QueuedSubmission& s : queue_->drain()) {
     engine_->submit(s.spec, s.id, s.submit_time);
@@ -303,10 +425,56 @@ void MuriDaemon::pump(Time now, bool force_round) {
       engine_->active_jobs() > 0 &&
       now >= last_round_sim_ + options_.round_interval_s;
   if (debounced || fallback) {
+    // Round latency as the SLO sees it: the whole run_round call,
+    // including the decision records the WAL persists inline. The
+    // schedule/place split lands in muri_daemon_round_phase_seconds via
+    // the engine observer; the WAL split is the sink's I/O delta.
+    const recovery::DurableSink::IoStats io0 =
+        sink_ != nullptr ? sink_->io_stats()
+                         : recovery::DurableSink::IoStats{};
+    const auto t0 = Clock::now();
     engine_->run_round(now);
+    const double round_s =
+        std::chrono::duration<double>(Clock::now() - t0).count();
     last_round_sim_ = now;
     round_pending_ = false;
+
+    registry_
+        .summary("muri_daemon_round_wall_seconds",
+                 "End-to-end wall time of one daemon scheduling round")
+        .observe(round_s);
+    const double w = wall_now();
+    if (slo_ != nullptr) slo_->observe("round_latency_s", w, round_s);
+    if (history_ != nullptr) history_->append("round_latency_s", w, round_s);
+    if (sink_ != nullptr) {
+      const recovery::DurableSink::IoStats io1 = sink_->io_stats();
+      static const std::vector<double> kBounds{1e-5, 1e-4, 1e-3, 1e-2,
+                                               0.1,  1.0,  10.0};
+      registry_
+          .histogram("muri_daemon_round_phase_seconds",
+                     "Wall seconds per engine round phase", kBounds,
+                     {{"phase", "wal"}})
+          .observe((io1.append_seconds - io0.append_seconds) +
+                   (io1.fsync_seconds - io0.fsync_seconds));
+      if (io1.fsyncs > io0.fsyncs) {
+        if (slo_ != nullptr) {
+          slo_->observe("wal_fsync_s", w, io1.last_fsync_seconds);
+        }
+        if (history_ != nullptr) {
+          history_->append("wal_fsync_s", w, io1.last_fsync_seconds);
+        }
+      }
+    }
   }
+
+  // Sample the time-series store: every step in manual mode (the test's
+  // clock), on the wall cadence otherwise.
+  if (history_ != nullptr &&
+      (options_.manual_time || wnow >= next_sample_wall_)) {
+    history_->sample(wall_now());
+    next_sample_wall_ = wnow + options_.sample_interval_s;
+  }
+  if (slo_ != nullptr) slo_->evaluate(wall_now());
   update_gauges();
 }
 
@@ -382,6 +550,61 @@ void MuriDaemon::update_gauges() {
       .gauge("muri_daemon_submissions_rejected_total",
              "Submissions rejected with 429 (queue full)")
       .set(static_cast<double>(st.rejected_full));
+  if (sink_ != nullptr) {
+    const recovery::DurableSink::IoStats io = sink_->io_stats();
+    registry_
+        .gauge("muri_wal_appended_bytes", "WAL bytes handed to write()")
+        .set(static_cast<double>(io.appended_bytes));
+    registry_.gauge("muri_wal_fsyncs_total", "WAL fsync calls")
+        .set(static_cast<double>(io.fsyncs));
+    registry_
+        .gauge("muri_wal_unsynced_records",
+               "Records appended since the last fsync (durability lag)")
+        .set(static_cast<double>(io.unsynced_records));
+    registry_
+        .gauge("muri_wal_last_fsync_seconds",
+               "Wall seconds of the most recent fsync")
+        .set(io.last_fsync_seconds);
+  }
+  obs::export_build_info(registry_);
+}
+
+MuriDaemon::Health MuriDaemon::evaluate_health() {
+  Health h;
+  const double beat = heartbeat_wall_.load();
+  // beat == 0: the loop has not had its first pass yet (manual daemons
+  // before any step()) — no heartbeat age to measure.
+  h.stall_s = beat != 0 ? wall_now() - beat : 0;
+  h.stalled = h.stall_s > options_.watchdog_stall_s;
+  h.round_overdue =
+      engine_->active_jobs() > 0 && options_.round_interval_s > 0 &&
+      sim_now() - last_round_sim_ >
+          options_.watchdog_round_factor * options_.round_interval_s;
+  h.ok = !h.stalled && !h.round_overdue;
+  if (h.stalled) h.reason = "event_loop_stall";
+  if (h.round_overdue) {
+    if (!h.reason.empty()) h.reason += ',';
+    h.reason += "round_overdue";
+  }
+  // Edge-triggered violation accounting, one per ok->degraded flip.
+  if (!h.ok && !watchdog_degraded_) {
+    registry_
+        .counter("muri_watchdog_violations_total",
+                 "Watchdog ok->degraded transitions",
+                 {{"reason", h.stalled ? "event_loop_stall"
+                                       : "round_overdue"}})
+        .inc();
+  }
+  watchdog_degraded_ = !h.ok;
+  registry_
+      .gauge("muri_daemon_degraded",
+             "1 while the watchdog reports degraded health")
+      .set(h.ok ? 0.0 : 1.0);
+  registry_
+      .gauge("muri_daemon_loop_stall_seconds",
+             "Age of the event-loop heartbeat at the last health check")
+      .set(h.stall_s);
+  return h;
 }
 
 std::string MuriDaemon::decisions_jsonl() const { return log_.jsonl(); }
@@ -389,14 +612,27 @@ std::string MuriDaemon::decisions_jsonl() const { return log_.jsonl(); }
 bool MuriDaemon::handle(const obs::HttpRequest& req,
                         obs::HttpResponse& resp) {
   std::string path = req.path;
+  std::string query;
   bool explain = false;
   const std::size_t q = path.find('?');
   if (q != std::string::npos) {
-    const std::string query = path.substr(q + 1);
+    query = path.substr(q + 1);
     explain = query.find("explain=1") != std::string::npos;
     path.resize(q);
   }
 
+  if (path == "/healthz" && req.method == "GET") {
+    handle_healthz(query.find("plain=1") != std::string::npos, resp);
+    return true;
+  }
+  if (path == "/stats" && req.method == "GET") {
+    handle_stats(resp);
+    return true;
+  }
+  if (path == "/metrics/history" && req.method == "GET") {
+    handle_history(query, resp);
+    return true;
+  }
   if (path == "/jobs") {
     if (req.method == "POST") {
       handle_submit(req, resp);
@@ -432,7 +668,159 @@ bool MuriDaemon::handle(const obs::HttpRequest& req,
     resp.body = log_.jsonl();
     return true;
   }
-  return false;  // fall through to /metrics, /metrics.json, /healthz
+  return false;  // fall through to /metrics and /metrics.json
+}
+
+void MuriDaemon::handle_healthz(bool plain, obs::HttpResponse& resp) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  const Health h = evaluate_health();
+  resp.status = h.ok ? 200 : 503;
+  if (plain) {
+    // Compatibility form for shell probes (`curl -sf .../healthz?plain=1`
+    // still distinguishes ok/degraded by status code alone).
+    resp.content_type = "text/plain";
+    resp.body = h.ok ? "ok\n" : "degraded\n";
+    return;
+  }
+  std::string out = "{\"status\":\"";
+  out += h.ok ? "ok" : "degraded";
+  out += "\"";
+  if (!h.ok) out += ",\"reason\":\"" + json_escape(h.reason) + "\"";
+  out += ",\"uptime_s\":" + fmt_num(wall_now());
+  out += ",\"sim_t\":" + fmt_num(sim_now());
+  out += ",\"loop_stall_s\":" + fmt_num(h.stall_s);
+  out += ",\"version\":\"" + std::string(build_version()) + "\"";
+  out += ",\"git_sha\":\"" + std::string(build_git_sha()) + "\"}\n";
+  resp.content_type = "application/json";
+  resp.body = std::move(out);
+}
+
+void MuriDaemon::handle_stats(obs::HttpResponse& resp) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  const Health h = evaluate_health();
+  if (slo_ != nullptr) slo_->evaluate(wall_now());
+  const AdmissionQueue::Stats qs = queue_->stats();
+
+  // Percentile blocks come from the registry summaries the observer and
+  // pump() feed; they cover the daemon's whole lifetime (the windowed
+  // view lives at /metrics/history).
+  const auto summary_block = [&](const char* metric, const char* help) {
+    obs::Summary& s = registry_.summary(metric, help);
+    std::string out = "{\"count\":" + std::to_string(s.count());
+    out += ",\"mean\":" + fmt_num(s.mean());
+    out += ",\"p50\":" + fmt_num(s.percentile(50));
+    out += ",\"p90\":" + fmt_num(s.percentile(90));
+    out += ",\"p99\":" + fmt_num(s.percentile(99));
+    out += "}";
+    return out;
+  };
+
+  std::string out = "{\"uptime_s\":" + fmt_num(wall_now());
+  out += ",\"sim_t\":" + fmt_num(sim_now());
+  out += ",\"version\":\"" + std::string(build_version()) + "\"";
+  out += ",\"git_sha\":\"" + std::string(build_git_sha()) + "\"";
+  out += ",\"scheduler\":\"" + json_escape(scheduler_->name()) + "\"";
+  out += ",\"health\":{\"status\":\"";
+  out += h.ok ? "ok" : "degraded";
+  out += "\",\"loop_stall_s\":" + fmt_num(h.stall_s);
+  out += ",\"round_overdue\":";
+  out += h.round_overdue ? "true" : "false";
+  if (!h.ok) out += ",\"reason\":\"" + json_escape(h.reason) + "\"";
+  out += "}";
+  out += ",\"queue\":{\"depth\":" + std::to_string(queue_->depth());
+  out += ",\"capacity\":" + std::to_string(queue_->capacity());
+  out += ",\"accepted\":" + std::to_string(qs.accepted);
+  out += ",\"rejected\":" + std::to_string(qs.rejected_full);
+  out += ",\"cancelled\":" + std::to_string(qs.cancelled);
+  out += "}";
+  out += ",\"jobs\":{\"active\":" + std::to_string(engine_->active_jobs());
+  out += ",\"running\":" + std::to_string(engine_->running_jobs());
+  out += ",\"rounds\":" + std::to_string(engine_->rounds_run());
+  out += "}";
+  out += ",\"wait_s\":" +
+         summary_block("muri_daemon_queue_wait_seconds",
+                       "Simulated seconds from submission to first "
+                       "placement");
+  out += ",\"jct_s\":" +
+         summary_block("muri_daemon_jct_seconds",
+                       "Simulated job completion time (finish - submit)");
+  out += ",\"round_s\":" +
+         summary_block("muri_daemon_round_wall_seconds",
+                       "End-to-end wall time of one daemon scheduling "
+                       "round");
+  // Round-phase histograms (observer + pump): sum/count per phase.
+  out += ",\"round_phases\":{";
+  {
+    static const std::vector<double> kBounds{1e-5, 1e-4, 1e-3, 1e-2,
+                                             0.1,  1.0,  10.0};
+    bool first = true;
+    for (const char* phase : {"schedule", "place", "wal"}) {
+      obs::Histogram& hg = registry_.histogram(
+          "muri_daemon_round_phase_seconds",
+          "Wall seconds per engine round phase", kBounds,
+          {{"phase", phase}});
+      if (!first) out += ',';
+      first = false;
+      out += "\"";
+      out += phase;
+      out += "\":{\"count\":" + std::to_string(hg.count());
+      out += ",\"sum_s\":" + fmt_num(hg.sum());
+      out += ",\"p99\":" + fmt_num(hg.quantile(0.99));
+      out += "}";
+    }
+  }
+  out += "}";
+  if (sink_ != nullptr) {
+    const recovery::DurableSink::IoStats io = sink_->io_stats();
+    out += ",\"wal\":{\"records\":" + std::to_string(sink_->records_seen());
+    out += ",\"appended\":" + std::to_string(sink_->records_appended());
+    out += ",\"appended_bytes\":" + std::to_string(io.appended_bytes);
+    out += ",\"unsynced_records\":" + std::to_string(io.unsynced_records);
+    out += ",\"fsyncs\":" + std::to_string(io.fsyncs);
+    out += ",\"append_s\":" + fmt_num(io.append_seconds);
+    out += ",\"fsync_s\":" + fmt_num(io.fsync_seconds);
+    out += ",\"last_fsync_s\":" + fmt_num(io.last_fsync_seconds);
+    out += ",\"max_fsync_s\":" + fmt_num(io.max_fsync_seconds);
+    out += "}";
+  }
+  out += ",\"engine\":{\"last_round_t\":" + fmt_num(last_round_sim_);
+  const Time nf = engine_->next_finish_time();
+  out += ",\"next_finish_t\":";
+  out += std::isfinite(nf) ? fmt_num(nf) : std::string("null");
+  out += ",\"last_advance_t\":" + fmt_num(engine_->last_advance());
+  out += "}";
+  out += ",\"slo\":";
+  out += slo_ != nullptr ? slo_->json() : std::string("{\"enabled\":false}");
+  out += ",\"history\":{\"enabled\":";
+  out += history_ != nullptr ? "true" : "false";
+  if (history_ != nullptr) {
+    out += ",\"samples\":" + std::to_string(history_->samples_taken());
+    out += ",\"interval_s\":" + fmt_num(options_.sample_interval_s);
+    out +=
+        ",\"capacity\":" + std::to_string(history_->capacity_per_series());
+  }
+  out += "}}\n";
+  resp.content_type = "application/json";
+  resp.body = std::move(out);
+}
+
+void MuriDaemon::handle_history(const std::string& query,
+                                obs::HttpResponse& resp) {
+  if (history_ == nullptr) {
+    json_error(resp, 404,
+               "history sampling disabled (start the daemon with "
+               "--sample-interval > 0)");
+    return;
+  }
+  double window_s = 0;  // 0 = everything retained
+  bool points = true;
+  const std::size_t w = query.find("window=");
+  if (w != std::string::npos) {
+    window_s = std::strtod(query.c_str() + w + 7, nullptr);
+  }
+  if (query.find("points=0") != std::string::npos) points = false;
+  resp.content_type = "application/json";
+  resp.body = history_->history_json(wall_now(), window_s, points) + "\n";
 }
 
 void MuriDaemon::handle_submit(const obs::HttpRequest& req,
@@ -488,6 +876,22 @@ void MuriDaemon::handle_submit(const obs::HttpRequest& req,
                   ",\"duplicate\":true}\n";
       return;
     }
+  }
+  if (options_.max_active_jobs > 0 &&
+      engine_->active_jobs() + static_cast<int>(queue_->depth()) >=
+          options_.max_active_jobs) {
+    resp.extra_headers.emplace_back("Retry-After",
+                                    std::to_string(options_.retry_after_s));
+    registry_
+        .counter("muri_daemon_rejected_at_capacity_total",
+                 "Submissions shed by the max-active-jobs admission bound")
+        .inc();
+    json_error(resp, 429,
+               "at capacity: " +
+                   std::to_string(options_.max_active_jobs) +
+                   " jobs in the system");
+    update_gauges();
+    return;
   }
   QueuedSubmission submission;
   submission.spec = spec;

@@ -47,6 +47,8 @@
 #include "obs/http_exporter.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
 #include "profiler/profiler.h"
 #include "recovery/durable.h"
 #include "scheduler/scheduler.h"
@@ -68,6 +70,13 @@ struct DaemonOptions {
   // Simulated seconds per wall second (time compression for replays).
   double compression = 1.0;
   std::size_t queue_capacity = 64;
+  // Admission bound on the total backlog (engine active jobs + handoff
+  // queue): submissions past it answer 429. 0 (default) = unbounded —
+  // the handoff queue alone sheds only arrival bursts the event loop
+  // cannot drain. Saturation load tests set this so an undersized
+  // cluster produces real backpressure instead of an ever-growing
+  // scheduler queue.
+  int max_active_jobs = 0;
   // Advisory Retry-After (seconds) attached to 429 responses.
   int retry_after_s = 1;
   // Durable WAL for the DecisionLog; empty = in-memory log only.
@@ -89,6 +98,29 @@ struct DaemonOptions {
   // Deterministic mode for tests: no event-loop thread, time only moves
   // through step().
   bool manual_time = false;
+
+  // ---- Live SLO & health plane (DESIGN.md "Live SLO & health plane").
+  // All of it follows the obs-off contract: with sampling disabled and no
+  // SLO targets set, plans, DecisionLog, and trace bytes are bit-identical
+  // to a daemon without the plane.
+  //
+  // Wall seconds between time-series samples; 0 (default) disables the
+  // store and GET /metrics/history answers 404. In manual_time mode every
+  // step() takes one sample regardless of cadence, so deterministic tests
+  // control the series point-by-point.
+  double sample_interval_s = 0;
+  // Ring-buffer capacity per series (oldest points overwritten).
+  std::size_t history_capacity = 600;
+  // Declarative SLO targets (obs/slo.h); default: everything disabled.
+  obs::SloConfig slo{};
+  // Watchdog: /healthz flips to degraded when the event-loop heartbeat is
+  // older than this many wall seconds. The loop normally beats at least
+  // every 200ms (its sleep cap), so anything above ~1s means a wedged or
+  // starved loop, not jitter.
+  double watchdog_stall_s = 5.0;
+  // ... or when jobs are active and no round has run for this factor ×
+  // round_interval_s simulated seconds (an overdue round).
+  double watchdog_round_factor = 4.0;
 };
 
 class MuriDaemon {
@@ -129,18 +161,47 @@ class MuriDaemon {
   // Lifetime admission-queue statistics.
   AdmissionQueue::Stats queue_stats() const { return queue_->stats(); }
 
+  // Live SLO plane accessors (null when the corresponding knob is off).
+  const obs::TimeSeriesStore* history() const noexcept {
+    return history_.get();
+  }
+  const obs::SloTracker* slo() const noexcept { return slo_.get(); }
+  // Wall seconds since start() — the sampling/SLO clock domain.
+  double wall_now() const;
+
+  // Test hook: backdate the event-loop heartbeat by `stall_s` wall
+  // seconds, as if the loop had been wedged that long. The next health
+  // evaluation sees the stall; the next pump()/step() observes it as a
+  // loop_stall_s sample and then recovers the heartbeat.
+  void inject_loop_stall_for_test(double stall_s);
+
  private:
+  struct Observer;
+  // Watchdog verdict at one instant (computed under engine_mu_).
+  struct Health {
+    bool ok = true;
+    double stall_s = 0;       // heartbeat age
+    bool stalled = false;
+    bool round_overdue = false;
+    std::string reason;       // "" when ok
+  };
+
   bool recover(std::string* error);
   bool handle(const obs::HttpRequest& req, obs::HttpResponse& resp);
   void handle_submit(const obs::HttpRequest& req, obs::HttpResponse& resp);
   void handle_job_get(JobId id, bool explain, obs::HttpResponse& resp);
   void handle_job_delete(JobId id, obs::HttpResponse& resp);
   void handle_list(obs::HttpResponse& resp);
+  void handle_healthz(bool plain, obs::HttpResponse& resp);
+  void handle_stats(obs::HttpResponse& resp);
+  void handle_history(const std::string& query, obs::HttpResponse& resp);
   void loop();
   // One loop-body pass at simulated time `now`; engine_mu_ must be held.
   void pump(Time now, bool force_round);
   void update_gauges();
   Time wall_to_sim(std::chrono::steady_clock::time_point t) const;
+  // Watchdog evaluation; engine_mu_ must be held (counts transitions).
+  Health evaluate_health();
 
   DaemonOptions options_;
   obs::MetricsRegistry registry_;
@@ -150,6 +211,17 @@ class MuriDaemon {
   std::unique_ptr<ServiceEngine> engine_;
   std::unique_ptr<AdmissionQueue> queue_;
   std::unique_ptr<obs::HttpExporter> exporter_;
+
+  // Live SLO plane. history_/slo_ are null when their knobs are off;
+  // observer_ is always attached (it feeds registry summaries too).
+  std::unique_ptr<obs::TimeSeriesStore> history_;
+  std::unique_ptr<obs::SloTracker> slo_;
+  std::unique_ptr<Observer> observer_;
+  // Wall time (seconds since wall_base_) of the last loop pass / step;
+  // atomic so handler threads read it without the engine mutex.
+  std::atomic<double> heartbeat_wall_{0};
+  double next_sample_wall_ = 0;     // engine_mu_
+  bool watchdog_degraded_ = false;  // engine_mu_: transition edge state
 
   // Engine + log mutations (handler threads vs event loop).
   mutable std::mutex engine_mu_;

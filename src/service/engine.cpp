@@ -1,6 +1,7 @@
 #include "service/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <set>
 
@@ -154,6 +155,9 @@ void ServiceEngine::finish_job(JobRecord& rec, Time t) {
         .num("restart_overhead", rec.restart_overhead_seconds)
         .integer("preemptions", rec.preemptions);
   }
+  if (options_.observer != nullptr) {
+    options_.observer->on_job_finish(t, t - rec.job.submit_time);
+  }
 }
 
 Time ServiceEngine::next_finish_time() const {
@@ -269,7 +273,16 @@ void ServiceEngine::run_round(Time now) {
                     dirty_jobs_.end());
   ctx.dirty_jobs = &dirty_jobs_;
 
+  // Phase timing for the live SLO plane; only measured when an observer
+  // is attached (the plan itself is computed identically either way).
+  EngineObserver* observer = options_.observer;
+  const auto t_schedule = observer != nullptr
+                              ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{};
   const std::vector<PlannedGroup> plan = scheduler_.schedule(queue, ctx);
+  const auto t_place = observer != nullptr
+                           ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
   // Displacements recorded below belong to the *next* round's delta.
   dirty_jobs_.clear();
 
@@ -385,7 +398,12 @@ void ServiceEngine::run_round(Time now) {
         }
         rec.key = key;
         rec.ready_at = now + options_.restart_penalty;
-        if (rec.first_scheduled < 0) rec.first_scheduled = now;
+        if (rec.first_scheduled < 0) {
+          rec.first_scheduled = now;
+          if (observer != nullptr) {
+            observer->on_first_schedule(now, now - rec.job.submit_time);
+          }
+        }
       }
       rec.period = ex.periods[i];
       rec.owner = owner;
@@ -409,6 +427,13 @@ void ServiceEngine::run_round(Time now) {
     ++rec.preemptions;
     --running_;
     mark_dirty(id);
+  }
+
+  if (observer != nullptr) {
+    const auto t_end = std::chrono::steady_clock::now();
+    observer->on_round(
+        now, std::chrono::duration<double>(t_place - t_schedule).count(),
+        std::chrono::duration<double>(t_end - t_place).count());
   }
 }
 

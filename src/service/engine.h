@@ -72,6 +72,35 @@ struct JobStatus {
   int preemptions = 0;
 };
 
+// Observational callbacks the daemon hooks to feed its live SLO plane
+// (queue-wait and JCT distributions, round phase split). Fire-and-forget:
+// implementations must not call back into the engine. Like every obs
+// hook, null is a zero-cost no-op and attaching an observer never changes
+// plans, decision records, or traces.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  // A job received its first placement `wait_s` simulated seconds after
+  // submission.
+  virtual void on_first_schedule(Time now, double wait_s) {
+    (void)now;
+    (void)wait_s;
+  }
+  // A job finished with simulated JCT `jct_s`.
+  virtual void on_job_finish(Time now, double jct_s) {
+    (void)now;
+    (void)jct_s;
+  }
+  // One run_round() completed: wall seconds inside scheduler_.schedule()
+  // vs. wall seconds placing the plan (cluster allocation + group
+  // execution arithmetic). Only measured when an observer is attached.
+  virtual void on_round(Time now, double schedule_s, double place_s) {
+    (void)now;
+    (void)schedule_s;
+    (void)place_s;
+  }
+};
+
 struct EngineOptions {
   ClusterSpec cluster{};
   ExecModelParams exec{};
@@ -80,6 +109,8 @@ struct EngineOptions {
   ResourceProfiler::Options profiler{};
   // Decision provenance + durable WAL tap; may be null (no-op).
   obs::DecisionLog* decisions = nullptr;
+  // Live SLO plane hook; may be null (no-op).
+  EngineObserver* observer = nullptr;
 };
 
 class ServiceEngine {

@@ -120,15 +120,25 @@ TEST(HttpExporter, ServesJsonSnapshot) {
 
 TEST(HttpExporter, ServesHealthz) {
   // The liveness probe must answer without touching the registry, so an
-  // empty one is the interesting case.
+  // empty one is the interesting case. Default is a small JSON document;
+  // ?plain=1 keeps the historical one-word body for shell probes.
   MetricsRegistry registry;
   HttpExporter exporter(registry);
   ASSERT_TRUE(exporter.start(0, nullptr));
   const std::string response = http_get(exporter.port(), "/healthz");
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
-  EXPECT_NE(response.find("text/plain"), std::string::npos);
-  EXPECT_EQ(body_of(response), "ok\n");
-  EXPECT_EQ(content_length_of(response), 3);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(body_of(response), root, &err)) << err;
+  EXPECT_EQ(root.at("status").string, "ok");
+  EXPECT_GE(root.at("uptime_s").number, 0.0);
+
+  const std::string plain = http_get(exporter.port(), "/healthz?plain=1");
+  EXPECT_NE(plain.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(plain.find("text/plain"), std::string::npos);
+  EXPECT_EQ(body_of(plain), "ok\n");
+  EXPECT_EQ(content_length_of(plain), 3);
   exporter.stop();
 }
 

@@ -424,5 +424,237 @@ TEST(ServiceDaemon, MetricsExposeDaemonGauges) {
   daemon.stop();
 }
 
+TEST(ServiceDaemon, JobApiErrorsCarryStructuredBodies) {
+  // Every job-API error body is {"error": ..., "code": ...} so clients
+  // and the loadgen never have to scrape free text.
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  auto expect_error_body = [&](const ClientResponse& resp, int code) {
+    EXPECT_EQ(resp.status, code);
+    const auto json = parse(resp.body);
+    EXPECT_TRUE(json.at("error").is_string()) << resp.body;
+    EXPECT_FALSE(json.at("error").string.empty()) << resp.body;
+    EXPECT_TRUE(json.at("code").is_number()) << resp.body;
+    EXPECT_EQ(static_cast<int>(json.at("code").number), code) << resp.body;
+  };
+
+  expect_error_body(get(daemon, "/jobs/12345"), 404);
+  expect_error_body(del(daemon, "/jobs/12345"), 404);
+  expect_error_body(post_json(daemon, "/jobs", "{not json"), 400);
+  expect_error_body(
+      post_json(daemon, "/jobs",
+                "{\"model\":\"resnet18\",\"gpus\":0,\"iterations\":1}"),
+      400);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, MaxActiveJobsBoundSheds429) {
+  DaemonOptions options = manual_options();
+  options.max_active_jobs = 2;
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+
+  const JobId a = submit(daemon, "resnet18", 1, 400);
+  submit(daemon, "resnet18", 1, 100000);
+  daemon.step(0);  // both land in the engine
+
+  // The system is at its bound: the next submission is shed with the
+  // structured 429 body and a Retry-After hint.
+  const auto resp = post_json(
+      daemon, "/jobs",
+      "{\"model\":\"resnet18\",\"gpus\":1,\"iterations\":100}");
+  EXPECT_EQ(resp.status, 429) << resp.body;
+  EXPECT_FALSE(resp.header("retry-after").empty());
+  const auto json = parse(resp.body);
+  EXPECT_EQ(static_cast<int>(json.at("code").number), 429);
+
+  // Capacity frees up as jobs finish.
+  ASSERT_EQ(run_to_completion(daemon, a), "finished");
+  EXPECT_EQ(post_json(daemon, "/jobs",
+                      "{\"model\":\"resnet18\",\"gpus\":1,"
+                      "\"iterations\":100}")
+                .status,
+            202);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, HealthzReflectsWatchdogStateAndRecovers) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  daemon.step(0);  // seed the heartbeat
+
+  // Healthy: 200 with a JSON document; ?plain=1 keeps the shell form.
+  auto resp = get(daemon, "/healthz");
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  auto json = parse(resp.body);
+  EXPECT_EQ(json.at("status").string, "ok");
+  EXPECT_TRUE(json.at("uptime_s").is_number());
+  EXPECT_TRUE(json.at("version").is_string());
+  resp = get(daemon, "/healthz?plain=1");
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(resp.body, "ok\n");
+
+  // A wedged event loop (injected) flips /healthz to degraded on the
+  // very next evaluation — health is computed on read, so a stalled
+  // loop cannot suppress its own detection.
+  daemon.inject_loop_stall_for_test(daemon.options().watchdog_stall_s + 5);
+  resp = get(daemon, "/healthz");
+  ASSERT_EQ(resp.status, 503) << resp.body;
+  json = parse(resp.body);
+  EXPECT_EQ(json.at("status").string, "degraded");
+  EXPECT_NE(json.at("reason").string.find("stall"), std::string::npos)
+      << resp.body;
+  resp = get(daemon, "/healthz?plain=1");
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_EQ(resp.body, "degraded\n");
+
+  // The transition was counted.
+  resp = get(daemon, "/metrics");
+  ASSERT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("muri_watchdog_violations_total"),
+            std::string::npos);
+
+  // The next loop pass refreshes the heartbeat: recovered.
+  daemon.step(0);
+  resp = get(daemon, "/healthz");
+  EXPECT_EQ(resp.status, 200) << resp.body;
+  EXPECT_EQ(parse(resp.body).at("status").string, "ok");
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, StatsServesTheDashboardDocument) {
+  DaemonOptions options = manual_options();
+  options.sample_interval_s = 1.0;  // manual mode: one sample per step
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  const JobId id = submit(daemon, "resnet18", 1, 400);
+  ASSERT_EQ(run_to_completion(daemon, id), "finished");
+
+  const auto resp = get(daemon, "/stats");
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  const auto json = parse(resp.body);
+  EXPECT_EQ(json.at("scheduler").string, "Muri-L");
+  EXPECT_EQ(json.at("health").at("status").string, "ok");
+  EXPECT_TRUE(json.at("queue").at("depth").is_number());
+  EXPECT_DOUBLE_EQ(json.at("queue").at("accepted").number, 1);
+  EXPECT_TRUE(json.at("jobs").at("rounds").is_number());
+  EXPECT_GT(json.at("jobs").at("rounds").number, 0);
+  // The observer fed the latency summaries: one wait and one JCT.
+  EXPECT_DOUBLE_EQ(json.at("wait_s").at("count").number, 1);
+  EXPECT_DOUBLE_EQ(json.at("jct_s").at("count").number, 1);
+  EXPECT_GT(json.at("jct_s").at("p99").number, 0);
+  // Round phases carry observations (schedule/place measured per round).
+  EXPECT_GT(json.at("round_phases").at("schedule").at("count").number, 0);
+  EXPECT_GT(json.at("round_phases").at("place").at("count").number, 0);
+  // No SLO targets configured; history is on.
+  EXPECT_FALSE(json.at("slo").at("enabled").boolean);
+  EXPECT_TRUE(json.at("history").at("enabled").boolean);
+  EXPECT_GT(json.at("history").at("samples").number, 0);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, MetricsHistoryServesSampledSeries) {
+  DaemonOptions options = manual_options();
+  options.sample_interval_s = 1.0;
+  options.history_capacity = 32;
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  const JobId id = submit(daemon, "resnet18", 1, 400);
+  run_to_completion(daemon, id);
+
+  const auto resp = get(daemon, "/metrics/history");
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  const auto json = parse(resp.body);
+  EXPECT_GT(json.at("samples").number, 0);
+  EXPECT_DOUBLE_EQ(json.at("capacity_per_series").number, 32);
+  const obs::JsonValue& series = json.at("series");
+  ASSERT_TRUE(series.is_object());
+  EXPECT_GT(series.at("queue_depth").at("count").number, 0);
+  EXPECT_TRUE(series.at("sim_time").at("points").is_array());
+  // The observer's event series landed next to the sampled ones.
+  EXPECT_GT(series.at("queue_wait_s").at("count").number, 0);
+
+  // points=0 strips the raw arrays; window= narrows the query.
+  const auto lean = get(daemon, "/metrics/history?window=1000&points=0");
+  ASSERT_EQ(lean.status, 200);
+  EXPECT_EQ(lean.body.find("\"points\""), std::string::npos);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, MetricsHistoryIs404WhenSamplingOff) {
+  MuriDaemon daemon(manual_options());  // sample_interval_s = 0
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  const auto resp = get(daemon, "/metrics/history");
+  EXPECT_EQ(resp.status, 404);
+  const auto json = parse(resp.body);
+  EXPECT_TRUE(json.at("error").is_string());
+  EXPECT_EQ(static_cast<int>(json.at("code").number), 404);
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, SloTracksInjectedLoopStall) {
+  DaemonOptions options = manual_options();
+  options.slo.loop_stall_max_s = 0.5;
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  ASSERT_NE(daemon.slo(), nullptr);
+
+  daemon.step(0);  // seed the heartbeat
+  daemon.inject_loop_stall_for_test(10.0);
+  daemon.step(0);  // the pump observes the 10s stall and evaluates
+
+  EXPECT_GE(daemon.slo()->violations_total(), 1);
+  const auto resp = get(daemon, "/stats");
+  ASSERT_EQ(resp.status, 200);
+  const auto json = parse(resp.body);
+  ASSERT_TRUE(json.at("slo").at("enabled").boolean);
+  bool found = false;
+  for (const obs::JsonValue& t : json.at("slo").at("targets").array) {
+    if (t.at("name").string != "loop_stall_s") continue;
+    found = true;
+    EXPECT_GE(t.at("violations").number, 1) << resp.body;
+  }
+  EXPECT_TRUE(found) << resp.body;
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, LivePlaneOffIsBitIdenticalToPlaneOn) {
+  // The obs-off contract, extended to the live plane: sampling and SLO
+  // tracking change nothing in the decision stream. Two daemons, same
+  // submissions and steps, one with the plane fully on — identical
+  // decisions JSONL, byte for byte.
+  auto drive = [](MuriDaemon& daemon) {
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+    submit(daemon, "resnet18", 2, 400, "a");
+    submit(daemon, "vgg19", 1, 300, "b");
+    for (int i = 0; i < 40; ++i) daemon.step(60);
+  };
+
+  MuriDaemon plain(manual_options());
+  drive(plain);
+
+  DaemonOptions options = manual_options();
+  options.sample_interval_s = 0.25;
+  options.history_capacity = 16;
+  options.slo.queue_wait_p99_s = 0.001;  // guaranteed violations
+  options.slo.loop_stall_max_s = 0.0001;
+  MuriDaemon instrumented(std::move(options));
+  drive(instrumented);
+  EXPECT_GE(instrumented.slo()->violations_total(), 1);
+
+  EXPECT_EQ(plain.decisions_jsonl(), instrumented.decisions_jsonl());
+  plain.stop();
+  instrumented.stop();
+}
+
 }  // namespace
 }  // namespace muri::service

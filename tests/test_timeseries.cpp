@@ -1,0 +1,314 @@
+// Live SLO plane primitives: the ring-buffer time-series store
+// (obs/timeseries) and the SLO tracker (obs/slo), plus the percentile
+// edge cases the plane leans on in common/stats and obs::Summary —
+// empty windows, single samples, capacity-1 rings, and the promise that
+// a windowed store p99 agrees with a Summary p99 over the same values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/timeseries.h"
+
+namespace muri {
+namespace {
+
+using obs::ProbeKind;
+using obs::SloConfig;
+using obs::SloTracker;
+using obs::TimeSeries;
+using obs::TimeSeriesStore;
+using obs::WindowStats;
+
+// ---------------------------------------------------------------- stats
+
+TEST(StatsPercentile, EmptyAndSingleSample) {
+  EXPECT_EQ(percentile({}, 50), 0.0);
+  EXPECT_EQ(percentile({}, 99), 0.0);
+  // One sample is every percentile.
+  EXPECT_EQ(percentile({7.5}, 0), 7.5);
+  EXPECT_EQ(percentile({7.5}, 50), 7.5);
+  EXPECT_EQ(percentile({7.5}, 99), 7.5);
+  EXPECT_EQ(percentile({7.5}, 100), 7.5);
+}
+
+TEST(StatsPercentile, InterpolatesBetweenRanks) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 2.5);
+}
+
+TEST(ObsSummary, PercentileEdgeCases) {
+  obs::Summary s;
+  EXPECT_EQ(s.count(), 0);
+  EXPECT_EQ(s.percentile(99), 0.0);  // empty
+  s.observe(3.0);
+  EXPECT_EQ(s.percentile(0), 3.0);  // single sample
+  EXPECT_EQ(s.percentile(99), 3.0);
+  s.observe(1.0);
+  s.observe(2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 2.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+// ----------------------------------------------------------- TimeSeries
+
+TEST(TimeSeriesTest, AppendsAndWindows) {
+  TimeSeries ts(8);
+  for (int i = 0; i < 5; ++i) ts.append(i, 10.0 * i);
+  EXPECT_EQ(ts.size(), 5u);
+  EXPECT_EQ(ts.total_appended(), 5);
+
+  // Full window, oldest first.
+  const auto all = ts.window(4.0, 0);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.front().time, 0.0);
+  EXPECT_EQ(all.back().time, 4.0);
+
+  // Narrow window keeps only the recent points.
+  const auto recent = ts.window(4.0, 2.0);
+  ASSERT_EQ(recent.size(), 3u);  // t in [2, 4]
+  EXPECT_EQ(recent.front().time, 2.0);
+
+  const WindowStats ws = ts.stats(4.0, 2.0);
+  EXPECT_EQ(ws.count, 3);
+  EXPECT_DOUBLE_EQ(ws.min, 20.0);
+  EXPECT_DOUBLE_EQ(ws.max, 40.0);
+  EXPECT_DOUBLE_EQ(ws.avg, 30.0);
+  EXPECT_DOUBLE_EQ(ws.last, 40.0);
+  EXPECT_DOUBLE_EQ(ws.first_time, 2.0);
+  EXPECT_DOUBLE_EQ(ws.last_time, 4.0);
+}
+
+TEST(TimeSeriesTest, RingOverwritesOldest) {
+  TimeSeries ts(4);
+  for (int i = 0; i < 10; ++i) ts.append(i, static_cast<double>(i));
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_EQ(ts.total_appended(), 10);
+  const auto pts = ts.window(9.0, 0);
+  ASSERT_EQ(pts.size(), 4u);
+  // Only the newest four survive, oldest first.
+  EXPECT_EQ(pts[0].time, 6.0);
+  EXPECT_EQ(pts[3].time, 9.0);
+}
+
+TEST(TimeSeriesTest, CapacityOneKeepsNewestPoint) {
+  // Capacity is clamped to >= 1; a capacity-1 ring is a "last value"
+  // cell whose stats are that single point.
+  TimeSeries ts(1);
+  ts.append(1.0, 10.0);
+  ts.append(2.0, 20.0);
+  EXPECT_EQ(ts.size(), 1u);
+  const WindowStats ws = ts.stats(2.0, 0);
+  EXPECT_EQ(ws.count, 1);
+  EXPECT_DOUBLE_EQ(ws.min, 20.0);
+  EXPECT_DOUBLE_EQ(ws.max, 20.0);
+  EXPECT_DOUBLE_EQ(ws.p50, 20.0);
+  EXPECT_DOUBLE_EQ(ws.p99, 20.0);
+  EXPECT_DOUBLE_EQ(ws.last, 20.0);
+}
+
+TEST(TimeSeriesTest, EmptyWindowIsAllZero) {
+  TimeSeries ts(8);
+  const WindowStats empty = ts.stats(100.0, 10.0);
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_EQ(empty.p99, 0.0);
+
+  ts.append(1.0, 5.0);
+  // A window that excludes every retained point is also empty.
+  const WindowStats excluded = ts.stats(100.0, 10.0);
+  EXPECT_EQ(excluded.count, 0);
+  EXPECT_EQ(excluded.avg, 0.0);
+}
+
+TEST(TimeSeriesTest, WindowedPercentileMatchesStats) {
+  // The store's windowed p99 must agree with common/stats percentile()
+  // (and thus obs::Summary) over the same values — the "a p99 served at
+  // /metrics/history matches a p99 in a report" contract.
+  TimeSeries ts(128);
+  obs::Summary summary;
+  std::vector<double> values;
+  double v = 1;
+  for (int i = 0; i < 100; ++i) {
+    v = std::fmod(v * 31 + 7, 97.0);  // deterministic scatter
+    ts.append(i, v);
+    summary.observe(v);
+    values.push_back(v);
+  }
+  const WindowStats ws = ts.stats(99.0, 0);
+  EXPECT_EQ(ws.count, 100);
+  EXPECT_DOUBLE_EQ(ws.p50, percentile(values, 50));
+  EXPECT_DOUBLE_EQ(ws.p90, percentile(values, 90));
+  EXPECT_DOUBLE_EQ(ws.p99, percentile(values, 99));
+  EXPECT_DOUBLE_EQ(ws.p99, summary.percentile(99));
+}
+
+// ------------------------------------------------------ TimeSeriesStore
+
+TEST(TimeSeriesStoreTest, GaugeAndRateProbes) {
+  TimeSeriesStore store(16);
+  double gauge = 5;
+  double counter = 0;
+  store.add_probe("depth", ProbeKind::kGauge, [&] { return gauge; });
+  store.add_probe("rate", ProbeKind::kRate, [&] { return counter; });
+
+  store.sample(1.0);  // first sample seeds the rate probe, stores nothing
+  EXPECT_EQ(store.stats("depth", 1.0, 0).count, 1);
+  EXPECT_EQ(store.stats("rate", 1.0, 0).count, 0);
+
+  gauge = 7;
+  counter = 10;  // +10 over 1s
+  store.sample(2.0);
+  counter = 40;  // +30 over 1s
+  store.sample(3.0);
+
+  EXPECT_EQ(store.samples_taken(), 3u);
+  EXPECT_DOUBLE_EQ(store.last_sample_time(), 3.0);
+  const WindowStats depth = store.stats("depth", 3.0, 0);
+  EXPECT_EQ(depth.count, 3);
+  EXPECT_DOUBLE_EQ(depth.last, 7.0);
+  const WindowStats rate = store.stats("rate", 3.0, 0);
+  EXPECT_EQ(rate.count, 2);
+  EXPECT_DOUBLE_EQ(rate.min, 10.0);
+  EXPECT_DOUBLE_EQ(rate.max, 30.0);
+}
+
+TEST(TimeSeriesStoreTest, EventSeriesAndHistoryJson) {
+  TimeSeriesStore store(16);
+  store.append("round_latency_s", 1.0, 0.010);
+  store.append("round_latency_s", 2.0, 0.020);
+  ASSERT_TRUE(store.has_series("round_latency_s"));
+  EXPECT_FALSE(store.has_series("nope"));
+
+  const std::string dump = store.history_json(2.0, 0);
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(dump, root, &err)) << err << "\n" << dump;
+  EXPECT_DOUBLE_EQ(root.at("now").number, 2.0);
+  const obs::JsonValue& series = root.at("series");
+  ASSERT_TRUE(series.is_object());
+  const obs::JsonValue& rl = series.at("round_latency_s");
+  EXPECT_DOUBLE_EQ(rl.at("count").number, 2);
+  EXPECT_DOUBLE_EQ(rl.at("max").number, 0.020);
+  ASSERT_TRUE(rl.at("points").is_array());
+  ASSERT_EQ(rl.at("points").array.size(), 2u);
+  EXPECT_DOUBLE_EQ(rl.at("points").array[0].array[0].number, 1.0);
+
+  // points=false drops the raw arrays but keeps the stats.
+  const std::string lean = store.history_json(2.0, 0, /*include_points=*/false);
+  obs::JsonValue lean_root;
+  ASSERT_TRUE(obs::parse_json(lean, lean_root, &err)) << err;
+  EXPECT_TRUE(
+      lean_root.at("series").at("round_latency_s").at("points").array.empty() ||
+      lean_root.at("series").at("round_latency_s").at("points").type ==
+          obs::JsonValue::Type::kNull);
+}
+
+// ------------------------------------------------------------ SloTracker
+
+TEST(SloTrackerTest, DisabledWhenNoThresholds) {
+  SloConfig cfg;  // all thresholds < 0
+  SloTracker tracker(cfg);
+  EXPECT_FALSE(tracker.enabled());
+  EXPECT_TRUE(tracker.ok());
+  EXPECT_EQ(tracker.violations_total(), 0);
+}
+
+TEST(SloTrackerTest, EdgeTriggeredViolationsAndRecovery) {
+  SloConfig cfg;
+  cfg.window_s = 10;
+  cfg.loop_stall_max_s = 1.0;  // max-reduce target
+  SloTracker tracker(cfg);
+  ASSERT_TRUE(tracker.enabled());
+
+  // Clean samples: ok.
+  tracker.observe("loop_stall_s", 1.0, 0.1);
+  tracker.evaluate(1.0);
+  EXPECT_TRUE(tracker.ok());
+  EXPECT_EQ(tracker.violations_total(), 0);
+
+  // Breach: one violation counted on the ok -> violating edge...
+  tracker.observe("loop_stall_s", 2.0, 5.0);
+  tracker.evaluate(2.0);
+  EXPECT_FALSE(tracker.ok());
+  EXPECT_EQ(tracker.violations_total(), 1);
+  EXPECT_EQ(tracker.reason(), "loop_stall_s");
+
+  // ...and not again while it stays violating.
+  tracker.observe("loop_stall_s", 3.0, 6.0);
+  tracker.evaluate(3.0);
+  EXPECT_EQ(tracker.violations_total(), 1);
+
+  // The breach ages out of the window: recovered, count preserved.
+  tracker.evaluate(50.0);
+  EXPECT_TRUE(tracker.ok());
+  EXPECT_EQ(tracker.violations_total(), 1);
+
+  // A fresh breach is a new edge.
+  tracker.observe("loop_stall_s", 51.0, 9.0);
+  tracker.evaluate(51.0);
+  EXPECT_EQ(tracker.violations_total(), 2);
+}
+
+TEST(SloTrackerTest, BurnRateAndRegistryMirror) {
+  obs::MetricsRegistry registry;
+  SloConfig cfg;
+  cfg.window_s = 60;
+  cfg.queue_wait_p99_s = 10.0;  // p99-reduce target
+  SloTracker tracker(cfg, &registry);
+
+  for (int i = 0; i < 10; ++i) {
+    tracker.observe("queue_wait_s", i, 5.0);
+  }
+  tracker.evaluate(10.0);
+  auto targets = tracker.targets();
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_DOUBLE_EQ(targets[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(targets[0].burn_rate, 0.5);
+  EXPECT_FALSE(targets[0].violating);
+
+  tracker.observe("queue_wait_s", 11.0, 30.0);
+  for (int i = 0; i < 5; ++i) {
+    tracker.observe("queue_wait_s", 12.0 + i, 30.0);
+  }
+  tracker.evaluate(17.0);
+  targets = tracker.targets();
+  EXPECT_TRUE(targets[0].violating);
+  EXPECT_GT(targets[0].burn_rate, 1.0);
+  EXPECT_EQ(tracker.violations_total(), 1);
+
+  // The registry mirror carries the same verdict.
+  const obs::Labels labels{{"target", "queue_wait_s"}};
+  EXPECT_DOUBLE_EQ(
+      registry.counter("muri_slo_violations_total", "", labels).value(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge("muri_slo_violating", "", labels).value(), 1.0);
+
+  // json() is parseable and carries the target.
+  obs::JsonValue root;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(tracker.json(), root, &err)) << err;
+  EXPECT_TRUE(root.at("enabled").boolean);
+  EXPECT_EQ(root.at("status").string, "violating");
+  ASSERT_EQ(root.at("targets").array.size(), 1u);
+  EXPECT_EQ(root.at("targets").array[0].at("name").string, "queue_wait_s");
+}
+
+TEST(SloTrackerTest, UnknownTargetObservationsAreIgnored) {
+  SloConfig cfg;
+  cfg.queue_wait_p99_s = 1.0;
+  SloTracker tracker(cfg);
+  tracker.observe("no_such_target", 1.0, 100.0);
+  tracker.evaluate(1.0);
+  EXPECT_TRUE(tracker.ok());
+  EXPECT_EQ(tracker.violations_total(), 0);
+}
+
+}  // namespace
+}  // namespace muri

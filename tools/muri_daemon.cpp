@@ -46,8 +46,27 @@ void usage(std::FILE* out) {
       "50)\n"
       "  --compression=X       sim seconds per wall second (default 1)\n"
       "  --queue-capacity=N    admission queue bound (default 64)\n"
+      "  --max-active-jobs=N   429 past N jobs in the system (engine +\n"
+      "                        queue; default 0 = unbounded)\n"
       "  --fsync=MODE          none|interval|every (default interval)\n"
-      "  --crash-env           honor MURI_CRASH_AT/_TORN (CI crash legs)\n",
+      "  --crash-env           honor MURI_CRASH_AT/_TORN (CI crash legs)\n"
+      "live SLO & health plane (DESIGN.md):\n"
+      "  --sample-interval=S   wall seconds between /metrics/history "
+      "samples\n"
+      "                        (default 0 = sampling off, history 404s)\n"
+      "  --history-capacity=N  ring-buffer points per series (default "
+      "600)\n"
+      "  --slo-window=S        rolling SLO window, wall seconds (default "
+      "60)\n"
+      "  --slo-wait-p99=S      p99 queue-wait target, sim seconds\n"
+      "  --slo-round-p99=S     p99 round-latency target, wall seconds\n"
+      "  --slo-fsync-max=S     max WAL fsync latency target, wall seconds\n"
+      "  --slo-stall-max=S     max event-loop stall target, wall seconds\n"
+      "  --watchdog-stall=S    /healthz degrades past this heartbeat age "
+      "(default 5)\n"
+      "  --watchdog-round-factor=X  ... or when no round ran for X x\n"
+      "                        round-interval with jobs active (default "
+      "4)\n",
       out);
 }
 
@@ -101,6 +120,9 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--queue-capacity=", 0) == 0 &&
                parse_int(arg.c_str() + 17, n) && n > 0) {
       options.queue_capacity = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--max-active-jobs=", 0) == 0 &&
+               parse_int(arg.c_str() + 18, n) && n >= 0) {
+      options.max_active_jobs = static_cast<int>(n);
     } else if (arg.rfind("--fsync=", 0) == 0) {
       const std::string mode = arg.substr(8);
       using Fsync = muri::recovery::DurableSinkOptions::Fsync;
@@ -117,6 +139,33 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--crash-env") {
       options.honor_crash_env = true;
+    } else if (arg.rfind("--sample-interval=", 0) == 0 &&
+               parse_double(arg.c_str() + 18, d) && d >= 0) {
+      options.sample_interval_s = d;
+    } else if (arg.rfind("--history-capacity=", 0) == 0 &&
+               parse_int(arg.c_str() + 19, n) && n > 0) {
+      options.history_capacity = static_cast<std::size_t>(n);
+    } else if (arg.rfind("--slo-window=", 0) == 0 &&
+               parse_double(arg.c_str() + 13, d) && d > 0) {
+      options.slo.window_s = d;
+    } else if (arg.rfind("--slo-wait-p99=", 0) == 0 &&
+               parse_double(arg.c_str() + 15, d)) {
+      options.slo.queue_wait_p99_s = d;
+    } else if (arg.rfind("--slo-round-p99=", 0) == 0 &&
+               parse_double(arg.c_str() + 16, d)) {
+      options.slo.round_latency_p99_s = d;
+    } else if (arg.rfind("--slo-fsync-max=", 0) == 0 &&
+               parse_double(arg.c_str() + 16, d)) {
+      options.slo.fsync_max_s = d;
+    } else if (arg.rfind("--slo-stall-max=", 0) == 0 &&
+               parse_double(arg.c_str() + 16, d)) {
+      options.slo.loop_stall_max_s = d;
+    } else if (arg.rfind("--watchdog-stall=", 0) == 0 &&
+               parse_double(arg.c_str() + 17, d) && d > 0) {
+      options.watchdog_stall_s = d;
+    } else if (arg.rfind("--watchdog-round-factor=", 0) == 0 &&
+               parse_double(arg.c_str() + 24, d) && d > 0) {
+      options.watchdog_round_factor = d;
     } else {
       std::fprintf(stderr, "muri-daemon: unknown flag '%s'\n", arg.c_str());
       usage(stderr);

@@ -20,12 +20,25 @@
 // finished (or cancelled), with a no-progress stall timeout. Exit 0 only
 // when zero jobs were lost or stuck; the report prints wall-observed
 // submit latency and daemon-reported wait/JCT percentiles.
+//
+// --arrival-rate switches to an open-loop saturation mode: Poisson
+// arrivals (seeded exponential interarrivals) at the given rate for
+// --duration wall seconds, one submission attempt each — a 429 counts as
+// shed load, never a retry — so the offered load stays fixed no matter
+// how the daemon responds. That is the load-testing half of the live SLO
+// plane (DESIGN.md): drive the daemon past capacity and watch /stats.
+// --assert-slo turns the run into a gate: after the arrival window (and
+// --settle seconds for rounds to land) it reads GET /stats and exits 3
+// if any SLO target recorded a violation or is violating now.
+// --history-out dumps GET /metrics/history to a file for offline
+// inspection (muri-report slo).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <random>
 #include <set>
 #include <string>
 #include <thread>
@@ -51,6 +64,13 @@ struct Options {
   std::string trace_path;       // optional CSV (overrides --jobs/--seed)
   double stall_timeout_s = 60;  // wall seconds without progress
   bool json = false;
+  // Open-loop saturation mode (jobs per wall second; 0 = closed loop).
+  double arrival_rate = 0;
+  double duration_s = 10;  // open-loop arrival window, wall seconds
+  double settle_s = 2;     // post-window settle before reporting/asserting
+  bool assert_slo = false;
+  std::string history_out;  // dump GET /metrics/history here
+  int max_gpus = 0;  // open loop: drop pool specs above this (0 = no cap)
 };
 
 void usage(std::FILE* out) {
@@ -63,7 +83,18 @@ void usage(std::FILE* out) {
       "                     daemon's --compression (default 500)\n"
       "  --stall-timeout=S  abort after S wall seconds without progress\n"
       "                     (default 60)\n"
-      "  --json             machine-readable report\n",
+      "  --json             machine-readable report\n"
+      "open-loop saturation mode:\n"
+      "  --arrival-rate=R   Poisson arrivals at R jobs per wall second,\n"
+      "                     one attempt each (429 = shed, no retry)\n"
+      "  --duration=S       arrival window, wall seconds (default 10)\n"
+      "  --settle=S         post-window wait before reporting (default 2)\n"
+      "  --max-gpus=N       drop pool specs needing more than N GPUs, so\n"
+      "                     an undersized target sheds (429) instead of\n"
+      "                     rejecting invalid specs (400)\n"
+      "  --assert-slo       exit 3 unless every daemon SLO target is\n"
+      "                     clean (no violations recorded, none active)\n"
+      "  --history-out=FILE dump GET /metrics/history to FILE\n",
       out);
 }
 
@@ -141,6 +172,170 @@ double pct(std::vector<double> xs, double p) {
   return xs.empty() ? 0.0 : muri::percentile(std::move(xs), p);
 }
 
+// GET /metrics/history -> FILE. Best-effort: a 404 (sampling disabled)
+// warns but does not change the exit code.
+void dump_history(const Options& opts) {
+  ClientResponse resp;
+  std::string error;
+  if (!http_request(opts.port, "GET", "/metrics/history", "", resp,
+                    &error)) {
+    std::fprintf(stderr, "muri-loadgen: GET /metrics/history failed: %s\n",
+                 error.c_str());
+    return;
+  }
+  if (resp.status != 200) {
+    std::fprintf(stderr,
+                 "muri-loadgen: GET /metrics/history -> %d (run the daemon "
+                 "with --sample-interval to enable history)\n",
+                 resp.status);
+    return;
+  }
+  std::FILE* f = std::fopen(opts.history_out.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "muri-loadgen: cannot write %s\n",
+                 opts.history_out.c_str());
+    return;
+  }
+  std::fwrite(resp.body.data(), 1, resp.body.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "muri-loadgen: wrote history to %s (%zu bytes)\n",
+               opts.history_out.c_str(), resp.body.size());
+}
+
+// --assert-slo gate: reads the daemon's SLO verdict from GET /stats.
+// 0 when every target is clean; 3 on any recorded violation, an active
+// violation, or when the daemon has no SLO targets configured (a gate
+// that cannot fire is a misconfigured gate).
+int check_slo(const Options& opts) {
+  ClientResponse resp;
+  std::string error;
+  if (!http_request(opts.port, "GET", "/stats", "", resp, &error) ||
+      resp.status != 200) {
+    std::fprintf(stderr, "muri-loadgen: --assert-slo: GET /stats -> %s\n",
+                 resp.status != 0 ? std::to_string(resp.status).c_str()
+                                  : error.c_str());
+    return 3;
+  }
+  muri::obs::JsonValue root;
+  if (!muri::obs::parse_json(resp.body, root) ||
+      !root.at("slo").is_object()) {
+    std::fprintf(stderr, "muri-loadgen: --assert-slo: bad /stats body\n");
+    return 3;
+  }
+  const muri::obs::JsonValue& slo = root.at("slo");
+  if (!slo.at("enabled").boolean) {
+    std::fprintf(stderr,
+                 "muri-loadgen: --assert-slo: daemon has no SLO targets "
+                 "(start it with --slo-wait-p99 et al.)\n");
+    return 3;
+  }
+  int bad = 0;
+  for (const muri::obs::JsonValue& t : slo.at("targets").array) {
+    const std::string& name = t.at("name").string;
+    const double violations = t.at("violations").number;
+    const bool violating = t.at("violating").boolean;
+    std::fprintf(stderr,
+                 "muri-loadgen: slo %-16s value %.4g threshold %.4g "
+                 "violations %.0f%s\n",
+                 name.c_str(), t.at("value").number,
+                 t.at("threshold").number, violations,
+                 violating ? " (violating)" : "");
+    if (violations > 0 || violating) ++bad;
+  }
+  if (bad > 0) {
+    std::fprintf(stderr, "muri-loadgen: SLO assert FAILED (%d target%s)\n",
+                 bad, bad == 1 ? "" : "s");
+    return 3;
+  }
+  std::fprintf(stderr, "muri-loadgen: SLO assert ok\n");
+  return 0;
+}
+
+// Open-loop saturation: Poisson arrivals for duration_s wall seconds,
+// one POST each. Returns 0 when the daemon stayed reachable (shed load
+// is an expected outcome, not a failure); 1 when submissions errored.
+int run_open_loop(const Options& opts) {
+  // Spec pool: reuse the synthetic trace generator for realistic model /
+  // GPU / iteration mixes; arrival times come from the Poisson clock, so
+  // the trace's own submit times are ignored.
+  Options pool_opts = opts;
+  pool_opts.jobs = std::max(
+      16, static_cast<int>(opts.arrival_rate * opts.duration_s * 2) + 16);
+  muri::Trace pool = make_trace(pool_opts);
+  if (opts.max_gpus > 0) {
+    std::vector<muri::Job> fit;
+    for (const muri::Job& j : pool.jobs) {
+      if (j.num_gpus <= opts.max_gpus) fit.push_back(j);
+    }
+    if (fit.empty()) {
+      std::fprintf(stderr,
+                   "muri-loadgen: no pool spec fits --max-gpus=%d\n",
+                   opts.max_gpus);
+      return 1;
+    }
+    pool.jobs = std::move(fit);
+  }
+
+  std::mt19937_64 rng(opts.seed);
+  std::exponential_distribution<double> interarrival(opts.arrival_rate);
+
+  std::fprintf(stderr,
+               "muri-loadgen: open loop — %.3g jobs/s for %gs against "
+               "127.0.0.1:%d\n",
+               opts.arrival_rate, opts.duration_s, opts.port);
+
+  std::size_t offered = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;  // 429/503: shed by admission control
+  std::size_t errors = 0;    // transport failures, unexpected statuses
+  const Clock::time_point start = Clock::now();
+  double t = interarrival(rng);
+  while (t <= opts.duration_s) {
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(t)));
+    const muri::Job& job = pool.jobs[offered % pool.jobs.size()];
+    const std::string name = "ol-" + std::to_string(offered);
+    ++offered;
+    ClientResponse resp;
+    std::string error;
+    if (!http_request(opts.port, "POST", "/jobs", submit_body(job, name),
+                      resp, &error)) {
+      ++errors;
+    } else if (resp.status == 202 || resp.status == 200) {
+      ++accepted;
+    } else if (resp.status == 429 || resp.status == 503) {
+      ++rejected;
+    } else {
+      ++errors;
+      std::fprintf(stderr, "muri-loadgen: POST /jobs -> %d: %s", resp.status,
+                   resp.body.c_str());
+    }
+    t += interarrival(rng);
+  }
+  if (opts.settle_s > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(opts.settle_s)));
+  }
+  const double wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (opts.json) {
+    std::printf(
+        "{\"mode\":\"open-loop\",\"offered\":%zu,\"accepted\":%zu,"
+        "\"rejected\":%zu,\"errors\":%zu,\"arrival_rate\":%g,"
+        "\"duration_s\":%g,\"wall_s\":%.3f}\n",
+        offered, accepted, rejected, errors, opts.arrival_rate,
+        opts.duration_s, wall_s);
+  } else {
+    std::printf(
+        "open loop: offered %zu  accepted %zu  rejected %zu  errors %zu  "
+        "wall %.1fs\n",
+        offered, accepted, rejected, errors, wall_s);
+  }
+  return errors > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,15 +360,38 @@ int main(int argc, char** argv) {
       opts.stall_timeout_s = std::atof(arg.c_str() + 16);
     } else if (arg == "--json") {
       opts.json = true;
+    } else if (arg.rfind("--arrival-rate=", 0) == 0) {
+      opts.arrival_rate = std::atof(arg.c_str() + 15);
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      opts.duration_s = std::atof(arg.c_str() + 11);
+    } else if (arg.rfind("--settle=", 0) == 0) {
+      opts.settle_s = std::atof(arg.c_str() + 9);
+    } else if (arg.rfind("--max-gpus=", 0) == 0) {
+      opts.max_gpus = std::atoi(arg.c_str() + 11);
+    } else if (arg == "--assert-slo") {
+      opts.assert_slo = true;
+    } else if (arg.rfind("--history-out=", 0) == 0) {
+      opts.history_out = arg.substr(14);
     } else {
       std::fprintf(stderr, "muri-loadgen: unknown flag '%s'\n", arg.c_str());
       usage(stderr);
       return 1;
     }
   }
-  if (opts.port <= 0 || opts.compression <= 0) {
+  if (opts.port <= 0 || opts.compression <= 0 || opts.arrival_rate < 0 ||
+      (opts.arrival_rate > 0 && opts.duration_s <= 0)) {
     usage(stderr);
     return 1;
+  }
+
+  if (opts.arrival_rate > 0) {
+    int rc = run_open_loop(opts);
+    if (!opts.history_out.empty()) dump_history(opts);
+    if (opts.assert_slo) {
+      const int slo_rc = check_slo(opts);
+      if (rc == 0) rc = slo_rc;
+    }
+    return rc;
   }
 
   const muri::Trace trace = make_trace(opts);
@@ -307,5 +525,6 @@ int main(int argc, char** argv) {
     std::printf("jct (sim s)        p50 %.1f  p90 %.1f  p99 %.1f\n",
                 pct(jcts, 50), pct(jcts, 90), pct(jcts, 99));
   }
-  return 0;
+  if (!opts.history_out.empty()) dump_history(opts);
+  return opts.assert_slo ? check_slo(opts) : 0;
 }

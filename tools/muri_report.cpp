@@ -30,13 +30,25 @@
 //   muri-report jobs daemon.wal                   # table + percentiles
 //   muri-report jobs --format=csv decisions.jsonl
 //
+// The slo subcommand renders an offline SLO violation summary — the
+// batch twin of the daemon's live GET /stats gate. Input is either a
+// decision stream (WAL or JSONL: wait/JCT percentiles from the job
+// records) or a GET /metrics/history dump (per-series stats straight
+// from the daemon's time-series store). Threshold flags turn the render
+// into a verdict:
+//
+//   muri-report slo daemon.wal --wait-p99=60 --jct-p99=900
+//   muri-report slo history.json --stall-max=1 --round-p99=0.05
+//
 // A torn tail (crashed writer) is reported on stderr with its byte
 // offset and the valid prefix is replayed — that is the point.
 //
 // Exit status: 0 on success, 1 on usage/IO/parse/schema errors, 2 when
 // the input parses but yields nothing to report (empty tables, an
 // explain query matching no record, or a replay of zero records) — so
-// CI can fail a run whose instrumentation silently vanished.
+// CI can fail a run whose instrumentation silently vanished. The slo
+// subcommand adds 3: the input rendered fine but at least one threshold
+// flag was violated.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -46,6 +58,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/stats.h"
 #include "obs/analysis.h"
 #include "obs/jobs_report.h"
 #include "obs/json.h"
@@ -58,7 +71,14 @@ namespace {
 
 enum class Format { kText, kCsv, kJson };
 
-enum class Mode { kTraceReport, kExplainJob, kExplainRound, kReplay, kJobs };
+enum class Mode {
+  kTraceReport,
+  kExplainJob,
+  kExplainRound,
+  kReplay,
+  kJobs,
+  kSlo,
+};
 
 struct Options {
   Format format = Format::kText;
@@ -66,6 +86,12 @@ struct Options {
   std::int64_t explain_id = 0;  // job id or round number
   std::string out_path;
   std::vector<std::string> traces;  // trace files, or the decisions file
+  // slo subcommand thresholds; < 0 = render only, no verdict.
+  double slo_wait_p99 = -1;
+  double slo_jct_p99 = -1;
+  double slo_round_p99 = -1;
+  double slo_fsync_max = -1;
+  double slo_stall_max = -1;
 };
 
 void usage(std::ostream& os) {
@@ -78,7 +104,11 @@ void usage(std::ostream& os) {
         "       muri-report replay [--format=text|json] [--out=FILE] "
         "WAL-or-DECISIONS-file\n"
         "       muri-report jobs [--format=text|csv|json] [--out=FILE] "
-        "WAL-or-DECISIONS-file\n";
+        "WAL-or-DECISIONS-file\n"
+        "       muri-report slo [--format=text|json] [--out=FILE]\n"
+        "                   [--wait-p99=S] [--jct-p99=S] [--round-p99=S]\n"
+        "                   [--fsync-max=S] [--stall-max=S]\n"
+        "                   WAL-or-DECISIONS-or-HISTORY-file\n";
 }
 
 bool parse_int64(std::string_view text, std::int64_t& out) {
@@ -117,6 +147,16 @@ bool parse_args(int argc, char** argv, Options& opts) {
       }
     } else if (arg.rfind("--out=", 0) == 0) {
       opts.out_path = std::string(arg.substr(6));
+    } else if (arg.rfind("--wait-p99=", 0) == 0) {
+      opts.slo_wait_p99 = std::atof(std::string(arg.substr(11)).c_str());
+    } else if (arg.rfind("--jct-p99=", 0) == 0) {
+      opts.slo_jct_p99 = std::atof(std::string(arg.substr(10)).c_str());
+    } else if (arg.rfind("--round-p99=", 0) == 0) {
+      opts.slo_round_p99 = std::atof(std::string(arg.substr(12)).c_str());
+    } else if (arg.rfind("--fsync-max=", 0) == 0) {
+      opts.slo_fsync_max = std::atof(std::string(arg.substr(12)).c_str());
+    } else if (arg.rfind("--stall-max=", 0) == 0) {
+      opts.slo_stall_max = std::atof(std::string(arg.substr(12)).c_str());
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "muri-report: unknown flag '" << arg << "'\n";
       return false;
@@ -136,6 +176,20 @@ bool parse_args(int argc, char** argv, Options& opts) {
     if (positional.size() != 1) {
       std::cerr << "muri-report: replay takes exactly one WAL or "
                    "DECISIONS.jsonl file\n";
+      return false;
+    }
+  }
+  // The slo subcommand takes a decision stream or a history dump.
+  if (!positional.empty() && positional[0] == "slo") {
+    opts.mode = Mode::kSlo;
+    positional.erase(positional.begin());
+    if (opts.format == Format::kCsv) {
+      std::cerr << "muri-report: slo output is text or json, not csv\n";
+      return false;
+    }
+    if (positional.size() != 1) {
+      std::cerr << "muri-report: slo takes exactly one WAL, "
+                   "DECISIONS.jsonl, or metrics-history file\n";
       return false;
     }
   }
@@ -372,6 +426,188 @@ int run_jobs(const Options& opts) {
   return emit_output(opts, output) ? 0 : 1;
 }
 
+// One line of the SLO verdict table. threshold < 0 = render-only.
+struct SloLine {
+  std::string name;
+  const char* reduce = "p99";
+  double threshold = -1;
+  double value = 0;
+  std::int64_t samples = 0;
+  bool violated = false;
+};
+
+std::string fmt_g(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string slo_render(const std::string& source, const Options& opts,
+                       const std::vector<SloLine>& lines) {
+  int violated = 0;
+  for (const SloLine& l : lines) violated += l.violated ? 1 : 0;
+  std::string out;
+  if (opts.format == Format::kJson) {
+    out += "{\"source\":\"" + json_escape(source) + "\",\"targets\":[";
+    bool first = true;
+    for (const SloLine& l : lines) {
+      if (!first) out += ',';
+      first = false;
+      out += "{\"name\":\"" + l.name + "\",\"reduce\":\"" + l.reduce +
+             "\",\"samples\":" + std::to_string(l.samples) +
+             ",\"value\":" + fmt_g(l.value);
+      if (l.threshold >= 0) {
+        out += ",\"threshold\":" + fmt_g(l.threshold) +
+               ",\"violated\":" + (l.violated ? "true" : "false");
+      }
+      out += '}';
+    }
+    out += "],\"violated\":" + std::to_string(violated) + "}\n";
+    return out;
+  }
+  out += "slo report (" + source + ")\n";
+  for (const SloLine& l : lines) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "%-16s %-4s %10.6g  samples %lld",
+                  l.name.c_str(), l.reduce, l.value,
+                  static_cast<long long>(l.samples));
+    out += buf;
+    if (l.threshold >= 0) {
+      std::snprintf(buf, sizeof(buf), "  [<= %.6g: %s]", l.threshold,
+                    l.violated ? "VIOLATED" : "ok");
+      out += buf;
+    }
+    out += '\n';
+  }
+  out += "verdict: ";
+  out += violated == 0 ? "ok" : std::to_string(violated) + " violated";
+  out += '\n';
+  return out;
+}
+
+// slo over a GET /metrics/history dump: per-series stats are already in
+// the JSON; map the daemon's SLO series names onto the threshold flags.
+int run_slo_history(const Options& opts, const muri::obs::JsonValue& root) {
+  const muri::obs::JsonValue& series = root.at("series");
+  if (series.object.empty()) {
+    std::cerr << "muri-report: no series in " << opts.traces.front() << '\n';
+    return 2;
+  }
+  std::vector<SloLine> lines;
+  for (const auto& [name, s] : series.object) {
+    SloLine l;
+    l.name = name;
+    l.samples = static_cast<std::int64_t>(s.at("count").number);
+    if (name == "queue_wait_s" || name == "jct_s" ||
+        name == "round_latency_s") {
+      l.reduce = "p99";
+      l.value = s.at("p99").number;
+    } else {
+      l.reduce = "max";
+      l.value = s.at("max").number;
+    }
+    if (name == "queue_wait_s") l.threshold = opts.slo_wait_p99;
+    if (name == "jct_s") l.threshold = opts.slo_jct_p99;
+    if (name == "round_latency_s") l.threshold = opts.slo_round_p99;
+    if (name == "wal_fsync_s") l.threshold = opts.slo_fsync_max;
+    if (name == "loop_stall_s") l.threshold = opts.slo_stall_max;
+    l.violated =
+        l.threshold >= 0 && l.samples > 0 && l.value > l.threshold;
+    lines.push_back(std::move(l));
+  }
+  const std::string output = slo_render("metrics history", opts, lines);
+  if (!emit_output(opts, output)) return 1;
+  for (const SloLine& l : lines) {
+    if (l.violated) return 3;
+  }
+  return 0;
+}
+
+// slo over a decision stream: wait/JCT percentiles from the job records
+// (round latency / fsync / stall are live-plane quantities — a WAL does
+// not carry them; use a history dump for those).
+int run_slo(const Options& opts) {
+  const std::string& path = opts.traces.front();
+  std::string text;
+  if (!read_file(path, text)) {
+    std::cerr << "muri-report: cannot read " << path << '\n';
+    return 1;
+  }
+  // A /metrics/history dump is one JSON object with a "series" map.
+  {
+    muri::obs::JsonValue root;
+    if (muri::obs::parse_json(text, root) && root.at("series").is_object()) {
+      return run_slo_history(opts, root);
+    }
+  }
+  if (muri::recovery::looks_like_wal(text)) {
+    muri::recovery::WalReadResult decoded;
+    std::string error;
+    if (!muri::recovery::read_wal_file(path, decoded, &error)) {
+      std::cerr << "muri-report: " << path << ": " << error << '\n';
+      return 1;
+    }
+    if (decoded.torn) {
+      std::cerr << "muri-report: " << path
+                << ": warning: torn tail ignored (" << decoded.torn_reason
+                << ")\n";
+    }
+    text.clear();
+    for (const muri::recovery::WalFrame& frame : decoded.frames) {
+      if (frame.kind != muri::recovery::FrameKind::kRecord) continue;
+      text += frame.payload;
+      text += '\n';
+    }
+  }
+  std::string error;
+  std::string tail_warning;
+  std::vector<muri::obs::DecisionRecord> records;
+  if (!muri::obs::parse_decision_log(text, records, &error, &tail_warning)) {
+    std::cerr << "muri-report: " << path << ": " << error << '\n';
+    return 1;
+  }
+  if (!tail_warning.empty()) {
+    std::cerr << "muri-report: " << path << ": warning: " << tail_warning
+              << '\n';
+  }
+  const muri::obs::JobsReport report = muri::obs::build_jobs_report(records);
+  if (report.empty()) {
+    std::cerr << "muri-report: no job records in " << path << '\n';
+    return 2;
+  }
+  std::vector<double> waits;
+  std::vector<double> jcts;
+  for (const muri::obs::JobLatencyRow& row : report.rows) {
+    if (row.has_wait()) waits.push_back(row.wait());
+    if (row.has_jct()) jcts.push_back(row.jct());
+  }
+  std::vector<SloLine> lines;
+  {
+    SloLine l;
+    l.name = "queue_wait_s";
+    l.samples = static_cast<std::int64_t>(waits.size());
+    l.value = waits.empty() ? 0 : muri::percentile(waits, 99);
+    l.threshold = opts.slo_wait_p99;
+    l.violated = l.threshold >= 0 && l.samples > 0 && l.value > l.threshold;
+    lines.push_back(std::move(l));
+  }
+  {
+    SloLine l;
+    l.name = "jct_s";
+    l.samples = static_cast<std::int64_t>(jcts.size());
+    l.value = jcts.empty() ? 0 : muri::percentile(jcts, 99);
+    l.threshold = opts.slo_jct_p99;
+    l.violated = l.threshold >= 0 && l.samples > 0 && l.value > l.threshold;
+    lines.push_back(std::move(l));
+  }
+  const std::string output = slo_render("decision stream", opts, lines);
+  if (!emit_output(opts, output)) return 1;
+  for (const SloLine& l : lines) {
+    if (l.violated) return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -379,6 +615,7 @@ int main(int argc, char** argv) {
   if (!parse_args(argc, argv, opts)) return 1;
   if (opts.mode == Mode::kReplay) return run_replay(opts);
   if (opts.mode == Mode::kJobs) return run_jobs(opts);
+  if (opts.mode == Mode::kSlo) return run_slo(opts);
   if (opts.mode != Mode::kTraceReport) return run_explain(opts);
 
   std::string output;
