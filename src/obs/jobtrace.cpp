@@ -1,0 +1,782 @@
+#include "obs/jobtrace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace muri::obs {
+
+namespace {
+
+constexpr const char* kSpanKindNames[kNumSpanKinds] = {
+    "awaiting_round", "no_capacity", "lost_priority", "deferred",
+    "preempted",      "faulted",     "restart",       "run",
+    "degraded",
+};
+
+// Relative tolerance for float-sum comparisons: spans are contiguous by
+// construction (bit-equal endpoints), but summing their lengths is not
+// the same float expression as finish - submit.
+bool close_enough(double a, double b) {
+  return std::fabs(a - b) <= 1e-9 * std::max({1.0, std::fabs(a),
+                                              std::fabs(b)});
+}
+
+void append_num(std::string& out, double v) { append_json_double(out, v); }
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+void append_id_array(std::string& out, const std::vector<std::int64_t>& v) {
+  out += '[';
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out += ',';
+    append_int(out, v[i]);
+  }
+  out += ']';
+}
+
+std::vector<double> wait_bucket_bounds() {
+  return {1, 10, 60, 300, 900, 3600, 14400, 86400};
+}
+
+double num_field(const JsonValue& v, const char* key, double fallback) {
+  const JsonValue& f = v.at(key);
+  return f.is_number() ? f.number : fallback;
+}
+
+std::int64_t int_field(const JsonValue& v, const char* key,
+                       std::int64_t fallback) {
+  const JsonValue& f = v.at(key);
+  return f.is_number() ? static_cast<std::int64_t>(f.number) : fallback;
+}
+
+std::string str_field(const JsonValue& v, const char* key) {
+  const JsonValue& f = v.at(key);
+  return f.is_string() ? f.string : std::string();
+}
+
+bool id_array_field(const JsonValue& v, const char* key,
+                    std::vector<std::int64_t>& out) {
+  const JsonValue& f = v.at(key);
+  if (!f.is_array()) return false;
+  out.clear();
+  out.reserve(f.array.size());
+  for (const JsonValue& e : f.array) {
+    if (!e.is_number()) return false;
+    out.push_back(static_cast<std::int64_t>(e.number));
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* span_kind_name(SpanKind kind) noexcept {
+  const auto i = static_cast<size_t>(kind);
+  return i < static_cast<size_t>(kNumSpanKinds) ? kSpanKindNames[i]
+                                                : "unknown";
+}
+
+bool span_kind_from_name(std::string_view name, SpanKind& out) noexcept {
+  for (int i = 0; i < kNumSpanKinds; ++i) {
+    if (name == kSpanKindNames[i]) {
+      out = static_cast<SpanKind>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool span_kind_is_wait(SpanKind kind) noexcept {
+  return kind < SpanKind::kRestart;
+}
+
+SpanKind classify_wait(bool deferred_by_scheduler, int need_gpus,
+                       int capacity_gpus) noexcept {
+  if (deferred_by_scheduler) return SpanKind::kDeferred;
+  if (need_gpus > capacity_gpus) return SpanKind::kNoCapacity;
+  return SpanKind::kLostPriority;
+}
+
+// -- JobTraceLog ------------------------------------------------------
+
+JobTraceLog::State* JobTraceLog::live(std::int64_t job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return nullptr;
+  State& s = it->second;
+  if (s.finished || s.cancelled || s.spans.empty()) return nullptr;
+  return &s;
+}
+
+void JobTraceLog::close_open(State& s, double t) {
+  if (s.spans.empty() || !s.spans.back().open) return;
+  RawSpan& b = s.spans.back();
+  b.end = t;
+  b.open = false;
+  // Zero-length spans are transition noise (several events at one
+  // instant); dropping them is what makes the offline fold — whose
+  // record order differs slightly within an instant — converge to the
+  // exact live spans.
+  if (b.end <= b.start) s.spans.pop_back();
+}
+
+void JobTraceLog::open_span(State& s, RawSpan span) {
+  span.open = true;
+  s.spans.push_back(std::move(span));
+}
+
+void JobTraceLog::accepted(std::int64_t job, double t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& s = jobs_[job];
+  if (s.job < 0) s.job = job;
+  if (s.accept < 0) s.accept = t;
+}
+
+void JobTraceLog::submitted(std::int64_t job, double t, bool restored) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = jobs_.try_emplace(job);
+  State& s = it->second;
+  if (!inserted && !s.spans.empty()) {
+    // Re-submission of a live trace only happens on WAL restore; the
+    // pre-crash spans are unattributable, so the trace starts over.
+    const double accept = s.accept;
+    s = State{};
+    s.accept = accept;
+  }
+  s.job = job;
+  s.submit = t;
+  s.restored = s.restored || restored;
+  s.placed = false;
+  s.cur_straggler = 1.0;
+  RawSpan span;
+  span.kind = SpanKind::kAwaitingRound;
+  span.start = t;
+  open_span(s, std::move(span));
+}
+
+void JobTraceLog::wait_verdict(std::int64_t job, double t, std::int64_t round,
+                               SpanKind bucket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State* s = live(job);
+  if (s == nullptr || s->placed) return;
+  RawSpan& b = s->spans.back();
+  if (b.open) {
+    // Same verdict again: the wait continues, stamped with one more
+    // round. A preempted/faulted span opened at this same instant also
+    // absorbs the verdict — the displacement is the cause of the wait
+    // until the scheduler reconsiders at a later round.
+    const bool fresh_displacement =
+        (b.kind == SpanKind::kPreempted || b.kind == SpanKind::kFaulted) &&
+        b.start == t;
+    if (b.kind == bucket || fresh_displacement) {
+      if (b.rounds.empty() || b.rounds.back() != round) {
+        b.rounds.push_back(round);
+      }
+      return;
+    }
+  }
+  close_open(*s, t);
+  RawSpan span;
+  span.kind = bucket;
+  span.start = t;
+  span.rounds = {round};
+  open_span(*s, std::move(span));
+}
+
+void JobTraceLog::placed(std::int64_t job, double t, std::int64_t round,
+                         const std::vector<std::int64_t>& group, double gamma,
+                         std::string_view mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State* s = live(job);
+  if (s == nullptr) return;
+  std::vector<std::int64_t> sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  if (s->placed && s->spans.back().open) {
+    RawSpan& b = s->spans.back();
+    if (b.group == sorted && b.mode == mode) {
+      // Unchanged placement: no new restart gate. Merge when nothing
+      // else drifted, otherwise cycle the span (degraded continuation
+      // re-admitted as a normal group, or the scheduler's predicted γ
+      // moved) keeping the old gate.
+      if (b.kind == SpanKind::kRun && b.gamma == gamma) {
+        if (b.rounds.empty() || b.rounds.back() != round) {
+          b.rounds.push_back(round);
+        }
+        return;
+      }
+      const double gate = b.gate_until;
+      close_open(*s, t);
+      RawSpan span;
+      span.kind = SpanKind::kRun;
+      span.start = t;
+      span.rounds = {round};
+      span.group = std::move(sorted);
+      span.gamma = gamma;
+      span.mode = std::string(mode);
+      span.straggler = s->cur_straggler;
+      span.gate_until = gate;
+      open_span(*s, std::move(span));
+      return;
+    }
+  }
+  // First placement or regrouped: the restart gate opens.
+  close_open(*s, t);
+  RawSpan span;
+  span.kind = SpanKind::kRun;
+  span.start = t;
+  span.rounds = {round};
+  span.group = std::move(sorted);
+  span.gamma = gamma;
+  span.mode = std::string(mode);
+  span.straggler = s->cur_straggler;
+  span.gate_until = t + restart_penalty_;
+  s->placed = true;
+  open_span(*s, std::move(span));
+}
+
+void JobTraceLog::degraded_continue(std::int64_t job, double t,
+                                    std::int64_t round,
+                                    const std::vector<std::int64_t>& group,
+                                    double gamma, std::string_view mode) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State* s = live(job);
+  if (s == nullptr || !s->placed) return;
+  std::vector<std::int64_t> sorted = group;
+  std::sort(sorted.begin(), sorted.end());
+  const RawSpan& b = s->spans.back();
+  // Survivors keep their old gate and straggler factor; only the group
+  // configuration (and its predicted γ) changed.
+  const double gate = b.gate_until;
+  const std::string span_mode = mode.empty() ? b.mode : std::string(mode);
+  close_open(*s, t);
+  RawSpan span;
+  span.kind = SpanKind::kDegraded;
+  span.start = t;
+  span.rounds = {round};
+  span.group = std::move(sorted);
+  span.gamma = gamma;
+  span.mode = span_mode;
+  span.straggler = s->cur_straggler;
+  span.gate_until = gate;
+  open_span(*s, std::move(span));
+}
+
+void JobTraceLog::straggler(std::int64_t job, double t, double factor) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State* s = live(job);
+  if (s == nullptr) return;
+  s->cur_straggler = factor;
+  if (!s->placed || !s->spans.back().open) return;
+  if (s->spans.back().straggler == factor) return;
+  // Cycle the placed span so its straggler annotation stays piecewise
+  // constant; everything else (group, γ, gate) carries over.
+  RawSpan span = s->spans.back();
+  close_open(*s, t);
+  span.start = t;
+  span.straggler = factor;
+  span.open = false;
+  open_span(*s, std::move(span));
+}
+
+void JobTraceLog::preempted(std::int64_t job, double t, std::int64_t round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State* s = live(job);
+  if (s == nullptr || !s->placed) return;
+  close_open(*s, t);
+  s->placed = false;
+  s->cur_straggler = 1.0;
+  RawSpan span;
+  span.kind = SpanKind::kPreempted;
+  span.start = t;
+  span.rounds = {round};
+  open_span(*s, std::move(span));
+}
+
+void JobTraceLog::faulted(std::int64_t job, double t, std::int64_t round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State* s = live(job);
+  if (s == nullptr || !s->placed) return;
+  close_open(*s, t);
+  s->placed = false;
+  s->cur_straggler = 1.0;
+  RawSpan span;
+  span.kind = SpanKind::kFaulted;
+  span.start = t;
+  span.rounds = {round};
+  open_span(*s, std::move(span));
+}
+
+void JobTraceLog::finished(std::int64_t job, double t, double reported_jct) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State* s = live(job);
+  if (s == nullptr) return;
+  close_open(*s, t);
+  s->placed = false;
+  s->finished = true;
+  s->finish = t;
+  s->reported_jct = reported_jct;
+  finalize_locked(*s);
+}
+
+void JobTraceLog::cancelled(std::int64_t job, double t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State* s = live(job);
+  if (s == nullptr) return;
+  close_open(*s, t);
+  s->placed = false;
+  s->cancelled = true;
+  s->finish = t;
+}
+
+void JobTraceLog::finalize_locked(State& s) {
+  const JobTimeline tl = attribute(s);
+  ++finished_jobs_;
+  for (int k = 0; k < kNumSpanKinds; ++k) {
+    totals_[static_cast<size_t>(k)] += tl.bucket_seconds[static_cast<size_t>(k)];
+  }
+  if (metrics_ == nullptr) return;
+  for (int k = 0; k < kNumSpanKinds; ++k) {
+    metrics_
+        ->histogram("muri_job_wait_bucket_seconds",
+                    "Attributed seconds per wait/run bucket, observed per "
+                    "finished job",
+                    wait_bucket_bounds(),
+                    {{"bucket", kSpanKindNames[k]}})
+        .observe(tl.bucket_seconds[static_cast<size_t>(k)]);
+  }
+}
+
+void JobTraceLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  jobs_.clear();
+}
+
+JobTimeline JobTraceLog::attribute(const State& s) {
+  JobTimeline tl;
+  tl.job = s.job;
+  tl.submit = s.submit;
+  tl.finish = s.finish;
+  tl.accept = s.accept;
+  tl.finished = s.finished;
+  tl.cancelled = s.cancelled;
+  tl.restored = s.restored;
+  tl.reported_jct = s.reported_jct;
+  for (const RawSpan& r : s.spans) {
+    const double end = r.open ? r.start : r.end;
+    const auto push = [&](SpanKind kind, double a, double b) {
+      TimelineSpan span;
+      span.kind = kind;
+      span.start = a;
+      span.end = b;
+      span.rounds = r.rounds;
+      span.group = r.group;
+      span.gamma = r.gamma;
+      span.mode = r.mode;
+      span.straggler = r.straggler;
+      tl.bucket_seconds[static_cast<size_t>(kind)] += span.seconds();
+      tl.spans.push_back(std::move(span));
+    };
+    if (r.kind == SpanKind::kRun || r.kind == SpanKind::kDegraded) {
+      // The restart gate is pure stall: the placed span splits at the
+      // gate into restart + progressing time.
+      const double gate = std::min(std::max(r.gate_until, r.start), end);
+      bool pushed = false;
+      if (gate > r.start) {
+        push(SpanKind::kRestart, r.start, gate);
+        pushed = true;
+      }
+      if (end > gate || !pushed) push(r.kind, gate, end);
+    } else {
+      push(r.kind, r.start, end);
+    }
+  }
+  return tl;
+}
+
+std::vector<JobTimeline> JobTraceLog::timelines() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobTimeline> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, s] : jobs_) {
+    if (s.spans.empty()) continue;
+    out.push_back(attribute(s));
+  }
+  return out;
+}
+
+bool JobTraceLog::timeline(std::int64_t job, JobTimeline& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end() || it->second.spans.empty()) return false;
+  out = attribute(it->second);
+  return true;
+}
+
+std::array<double, kNumSpanKinds> JobTraceLog::totals(
+    std::int64_t* finished_jobs) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_jobs != nullptr) *finished_jobs = finished_jobs_;
+  return totals_;
+}
+
+// -- Validation -------------------------------------------------------
+
+std::string validate_timeline(const JobTimeline& t) {
+  if (t.spans.empty()) {
+    if (t.finished && t.jct() > 0) return "finished job has no spans";
+    return "";
+  }
+  if (t.spans.front().start != t.submit) {
+    return "first span does not start at submit";
+  }
+  for (size_t i = 0; i + 1 < t.spans.size(); ++i) {
+    if (t.spans[i].end != t.spans[i + 1].start) {
+      return "spans not contiguous at index " + std::to_string(i);
+    }
+    if (t.spans[i].end < t.spans[i].start) {
+      return "negative span at index " + std::to_string(i);
+    }
+  }
+  double total = 0;
+  for (const TimelineSpan& s : t.spans) total += s.seconds();
+  if (!close_enough(total, t.total_seconds())) {
+    return "bucket seconds do not sum to span seconds";
+  }
+  if (!t.finished) return "";
+  if (t.spans.back().end != t.finish) {
+    return "last span does not end at finish";
+  }
+  if (t.restored || t.cancelled || t.reported_jct < 0) return "";
+  if (!close_enough(total, t.reported_jct)) {
+    std::string err = "buckets sum to ";
+    append_num(err, total);
+    err += " but reported jct is ";
+    append_num(err, t.reported_jct);
+    return err;
+  }
+  return "";
+}
+
+// -- Offline fold -----------------------------------------------------
+
+void build_job_traces(const std::vector<DecisionRecord>& records,
+                      JobTraceLog& out) {
+  // Scheduler-side group records of the current round, for the predicted
+  // γ a placement realizes. Keyed by sorted members; reset per round.
+  std::map<std::vector<std::int64_t>, double> round_gammas;
+  std::int64_t gamma_round = -1;
+  std::vector<std::int64_t> ids;
+
+  for (const DecisionRecord& rec : records) {
+    const JsonValue& v = rec.value;
+    if (!v.is_object()) continue;
+    const std::string type = str_field(v, "type");
+    if (type.empty()) continue;
+    const std::int64_t round = int_field(v, "round", 0);
+    const double t = num_field(v, "t", 0);
+
+    if (type == "sim_start") {
+      out.clear();
+      out.set_restart_penalty(num_field(v, "restart_penalty", 0));
+    } else if (type == "daemon_start") {
+      // No clear: a resumed WAL continues the same system; restored jobs
+      // re-open via job_restore below.
+      out.set_restart_penalty(num_field(v, "restart_penalty", 0));
+    } else if (type == "arrival" || type == "job_submit") {
+      out.submitted(int_field(v, "job", -1), t);
+    } else if (type == "job_restore") {
+      out.submitted(int_field(v, "job", -1), t, /*restored=*/true);
+    } else if (type == "group") {
+      if (id_array_field(v, "jobs", ids)) {
+        if (round != gamma_round) {
+          gamma_round = round;
+          round_gammas.clear();
+        }
+        std::vector<std::int64_t> key = ids;
+        std::sort(key.begin(), key.end());
+        round_gammas[std::move(key)] = num_field(v, "gamma", 1.0);
+      }
+    } else if (type == "wait") {
+      const JsonValue& buckets = v.at("bucket");
+      if (id_array_field(v, "job", ids) && buckets.is_array() &&
+          buckets.array.size() == ids.size()) {
+        for (size_t i = 0; i < ids.size(); ++i) {
+          SpanKind kind;
+          if (buckets.array[i].is_string() &&
+              span_kind_from_name(buckets.array[i].string, kind)) {
+            out.wait_verdict(ids[i], t, round, kind);
+          }
+        }
+      }
+    } else if (type == "placement") {
+      if (id_array_field(v, "jobs", ids)) {
+        std::vector<std::int64_t> key = ids;
+        std::sort(key.begin(), key.end());
+        double gamma = 1.0;
+        if (round == gamma_round) {
+          const auto it = round_gammas.find(key);
+          if (it != round_gammas.end()) gamma = it->second;
+        }
+        const std::string mode = str_field(v, "mode");
+        for (const std::int64_t job : ids) {
+          out.placed(job, t, round, ids, gamma, mode);
+        }
+      }
+    } else if (type == "degraded_continue") {
+      if (id_array_field(v, "jobs", ids)) {
+        const double gamma = num_field(v, "gamma", 1.0);
+        const std::string mode = str_field(v, "mode");
+        for (const std::int64_t job : ids) {
+          out.degraded_continue(job, t, round, ids, gamma, mode);
+        }
+      }
+    } else if (type == "straggler") {
+      out.straggler(int_field(v, "job", -1), t, num_field(v, "factor", 1.0));
+    } else if (type == "preempt") {
+      out.preempted(int_field(v, "job", -1), t, round);
+    } else if (type == "evict" || type == "fault") {
+      out.faulted(int_field(v, "job", -1), t, round);
+    } else if (type == "finish") {
+      out.finished(int_field(v, "job", -1), t, num_field(v, "jct", -1));
+    } else if (type == "job_cancel") {
+      out.cancelled(int_field(v, "job", -1), t);
+    }
+    // Every other record type carries nothing a job timeline tracks.
+  }
+}
+
+// -- Renderers --------------------------------------------------------
+
+std::string timeline_text(const JobTimeline& t) {
+  std::string out = "job ";
+  append_int(out, t.job);
+  out += ": submit=";
+  append_num(out, t.submit);
+  if (t.finished || t.cancelled) {
+    out += t.cancelled ? " cancelled=" : " finish=";
+    append_num(out, t.finish);
+    out += " jct=";
+    append_num(out, t.jct());
+  } else {
+    out += " in-flight";
+  }
+  if (t.accept >= 0 && t.accept != t.submit) {
+    out += " admission_wait=";
+    append_num(out, t.submit - t.accept);
+  }
+  if (t.restored) out += " restored";
+  out += " spans=";
+  append_int(out, static_cast<std::int64_t>(t.spans.size()));
+  out += '\n';
+  for (const TimelineSpan& s : t.spans) {
+    out += "  ";
+    out += span_kind_name(s.kind);
+    out += ' ';
+    append_num(out, s.start);
+    out += " .. ";
+    append_num(out, s.end);
+    out += " +";
+    append_num(out, s.seconds());
+    out += " rounds=";
+    append_id_array(out, s.rounds);
+    if (!s.group.empty()) {
+      out += " group=";
+      append_id_array(out, s.group);
+      if (!s.mode.empty()) {
+        out += " mode=";
+        out += s.mode;
+      }
+      out += " gamma=";
+      append_num(out, s.gamma);
+      if (s.straggler != 1.0) {
+        out += " straggler=";
+        append_num(out, s.straggler);
+      }
+    }
+    out += '\n';
+  }
+  out += "  buckets:";
+  for (int k = 0; k < kNumSpanKinds; ++k) {
+    const double sec = t.bucket_seconds[static_cast<size_t>(k)];
+    if (sec == 0) continue;
+    out += ' ';
+    out += kSpanKindNames[k];
+    out += '=';
+    append_num(out, sec);
+  }
+  out += '\n';
+  return out;
+}
+
+std::string timeline_csv(const std::vector<JobTimeline>& ts) {
+  std::string out =
+      "job,kind,start,end,seconds,rounds,group,mode,gamma,straggler\n";
+  for (const JobTimeline& t : ts) {
+    for (const TimelineSpan& s : t.spans) {
+      append_int(out, t.job);
+      out += ',';
+      out += span_kind_name(s.kind);
+      out += ',';
+      append_num(out, s.start);
+      out += ',';
+      append_num(out, s.end);
+      out += ',';
+      append_num(out, s.seconds());
+      out += ',';
+      for (size_t i = 0; i < s.rounds.size(); ++i) {
+        if (i > 0) out += ';';
+        append_int(out, s.rounds[i]);
+      }
+      out += ',';
+      for (size_t i = 0; i < s.group.size(); ++i) {
+        if (i > 0) out += ';';
+        append_int(out, s.group[i]);
+      }
+      out += ',';
+      out += s.mode;
+      out += ',';
+      append_num(out, s.gamma);
+      out += ',';
+      append_num(out, s.straggler);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string timeline_json(const JobTimeline& t) {
+  std::string out = "{\"job\":";
+  append_int(out, t.job);
+  out += ",\"submit\":";
+  append_num(out, t.submit);
+  out += ",\"finish\":";
+  append_num(out, t.finish);
+  if (t.accept >= 0) {
+    out += ",\"accept\":";
+    append_num(out, t.accept);
+  }
+  out += ",\"jct\":";
+  append_num(out, t.finished || t.cancelled ? t.jct() : -1.0);
+  out += ",\"reported_jct\":";
+  append_num(out, t.reported_jct);
+  out += ",\"finished\":";
+  out += t.finished ? "true" : "false";
+  out += ",\"cancelled\":";
+  out += t.cancelled ? "true" : "false";
+  out += ",\"restored\":";
+  out += t.restored ? "true" : "false";
+  out += ",\"valid\":";
+  out += validate_timeline(t).empty() ? "true" : "false";
+  out += ",\"buckets\":{";
+  for (int k = 0; k < kNumSpanKinds; ++k) {
+    if (k > 0) out += ',';
+    out += '"';
+    out += kSpanKindNames[k];
+    out += "\":";
+    append_num(out, t.bucket_seconds[static_cast<size_t>(k)]);
+  }
+  out += "},\"spans\":[";
+  for (size_t i = 0; i < t.spans.size(); ++i) {
+    const TimelineSpan& s = t.spans[i];
+    if (i > 0) out += ',';
+    out += "{\"kind\":\"";
+    out += span_kind_name(s.kind);
+    out += "\",\"start\":";
+    append_num(out, s.start);
+    out += ",\"end\":";
+    append_num(out, s.end);
+    out += ",\"seconds\":";
+    append_num(out, s.seconds());
+    out += ",\"rounds\":";
+    append_id_array(out, s.rounds);
+    if (!s.group.empty()) {
+      out += ",\"group\":";
+      append_id_array(out, s.group);
+      if (!s.mode.empty()) {
+        out += ",\"mode\":\"";
+        out += s.mode;
+        out += '"';
+      }
+      out += ",\"gamma\":";
+      append_num(out, s.gamma);
+      out += ",\"straggler\":";
+      append_num(out, s.straggler);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string timelines_json(const std::vector<JobTimeline>& ts) {
+  std::array<double, kNumSpanKinds> totals{};
+  std::int64_t finished = 0;
+  for (const JobTimeline& t : ts) {
+    if (!t.finished || t.cancelled) continue;
+    ++finished;
+    for (int k = 0; k < kNumSpanKinds; ++k) {
+      totals[static_cast<size_t>(k)] += t.bucket_seconds[static_cast<size_t>(k)];
+    }
+  }
+  std::string out = "{\"finished\":";
+  append_int(out, finished);
+  out += ",\"totals\":{";
+  for (int k = 0; k < kNumSpanKinds; ++k) {
+    if (k > 0) out += ',';
+    out += '"';
+    out += kSpanKindNames[k];
+    out += "\":";
+    append_num(out, totals[static_cast<size_t>(k)]);
+  }
+  out += "},\"jobs\":[";
+  for (size_t i = 0; i < ts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += timeline_json(ts[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string chrome_trace_json(const std::vector<JobTimeline>& ts) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&]() {
+    if (!first) out += ',';
+    first = false;
+  };
+  for (const JobTimeline& t : ts) {
+    sep();
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    append_int(out, t.job);
+    out += ",\"tid\":0,\"args\":{\"name\":\"job ";
+    append_int(out, t.job);
+    out += "\"}}";
+    for (const TimelineSpan& s : t.spans) {
+      sep();
+      out += "{\"name\":\"";
+      out += span_kind_name(s.kind);
+      out += "\",\"cat\":\"jobtrace\",\"ph\":\"X\",\"pid\":";
+      append_int(out, t.job);
+      out += ",\"tid\":0,\"ts\":";
+      append_num(out, s.start * 1e6);
+      out += ",\"dur\":";
+      append_num(out, s.seconds() * 1e6);
+      out += ",\"args\":{\"round\":";
+      append_int(out, s.rounds.empty() ? 0 : s.rounds.back());
+      out += ",\"gamma\":";
+      append_num(out, s.gamma);
+      out += ",\"straggler\":";
+      append_num(out, s.straggler);
+      out += "}}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace muri::obs

@@ -387,6 +387,10 @@ bool check_record_schema(const JsonValue& rec, const std::string& type,
   static const FieldSpec kDaemonStart[] = {
       {"t", 'n'}, {"machines", 'n'}, {"gpus", 'n'}};
   static const FieldSpec kDaemonStop[] = {{"t", 'n'}};
+  // Per-job tracing records (src/obs/jobtrace).
+  static const FieldSpec kWait[] = {{"t", 'n'}, {"job", 'i'}, {"bucket", 'S'}};
+  static const FieldSpec kStraggler[] = {
+      {"t", 'n'}, {"job", 'n'}, {"factor", 'n'}};
 
   struct Schema {
     const char* type;
@@ -422,6 +426,8 @@ bool check_record_schema(const JsonValue& rec, const std::string& type,
       {"job_restore", kJobProgress, std::size(kJobProgress)},
       {"daemon_start", kDaemonStart, std::size(kDaemonStart)},
       {"daemon_stop", kDaemonStop, std::size(kDaemonStop)},
+      {"wait", kWait, std::size(kWait)},
+      {"straggler", kStraggler, std::size(kStraggler)},
   };
   for (const auto& schema : kSchemas) {
     if (type == schema.type) {
@@ -645,6 +651,32 @@ std::string render_record(const JsonValue& rec, std::int64_t focus_job) {
     out = "t=" + fmt_num(rec.at("t").number) + " degraded group " +
           fmt_int_array(rec.at("jobs")) + " continues, gamma=" +
           fmt_num(rec.at("gamma").number);
+  } else if (type == "wait") {
+    const JsonValue& ids = rec.at("job");
+    const JsonValue& buckets = rec.at("bucket");
+    std::string bucket;
+    if (focus_job >= 0 && ids.is_array() && buckets.is_array() &&
+        buckets.array.size() == ids.array.size()) {
+      for (std::size_t i = 0; i < ids.array.size(); ++i) {
+        if (ids.array[i].is_number() &&
+            static_cast<std::int64_t>(ids.array[i].number) == focus_job &&
+            buckets.array[i].is_string()) {
+          bucket = buckets.array[i].string;
+          break;
+        }
+      }
+    }
+    out = "t=" + fmt_num(rec.at("t").number) + " ";
+    if (!bucket.empty()) {
+      out += "left waiting (" + bucket + ")";
+    } else {
+      out += std::to_string(ids.is_array() ? ids.array.size() : 0) +
+             " jobs left waiting " + fmt_int_array(ids);
+    }
+  } else if (type == "straggler") {
+    out = "t=" + fmt_num(rec.at("t").number) + " job " +
+          fmt_num(rec.at("job").number) + " straggler factor " +
+          fmt_num(rec.at("factor").number);
   } else if (type == "exec_group") {
     out = "executor launched " +
           std::to_string(rec.at("names").array.size()) + " members over " +

@@ -29,7 +29,8 @@
 // Record catalog (field "type"; every record also carries integer
 // "round"):
 //
-//   sim_start     t, jobs, machines, gpus, interval  (run lifecycle)
+//   sim_start     t, jobs, machines, gpus, interval [, restart_penalty]
+//                                                    (run lifecycle)
 //   arrival       t, job, gpus
 //   round_start   scheduler, policy, queue, capacity
 //   priority      policy, job:[ids], score:[doubles]   (queue order)
@@ -48,7 +49,7 @@
 //   fault         t, job, reason
 //   machine_down  t, machine                          (fault domains)
 //   machine_up    t, machine
-//   degraded_continue t, jobs:[ids], gamma
+//   degraded_continue t, jobs:[ids], gamma [, mode]
 //   finish        t, job, jct, queueing, running, restart_overhead,
 //                 preemptions
 //   sim_end       t, makespan, finished, unfinished
@@ -58,8 +59,11 @@
 //   job_cancel    t, job, reason
 //   job_progress  t, job, done          (graceful-shutdown checkpoint)
 //   job_restore   t, job, done          (WAL recovery re-admission)
-//   daemon_start  t, machines, gpus [, resumed]
+//   daemon_start  t, machines, gpus [, resumed, restart_penalty]
 //   daemon_stop   t [, reason]
+//   wait          t, job:[ids], bucket:[strings]  (per-job tracing; one
+//                 post-round verdict per waiting job, ids ascending)
+//   straggler     t, job, factor        (period-inflation change)
 //
 // Edge/matched indices address the sibling "nodes" arrays of the same
 // record; everything else is in job ids.

@@ -546,6 +546,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
       plan.push_back({{v.id}, v.num_gpus, GroupMode::kExclusive, {}, {}, 0});
     }
     sort_groups_for_placement(plan);
+    set_last_deferred({});
     finish_round(plan, /*contended=*/false);
     return plan;
   }
@@ -962,6 +963,7 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
         gamma = plan.efficiency;
         ++groups_formed;
       }
+      g.predicted_gamma = gamma;
       planned.push_back({std::move(g), best_priority, gamma});
     }
   }
@@ -1021,6 +1023,11 @@ std::vector<PlannedGroup> MuriScheduler::schedule(
         .ids("jobs", deferred_ids)
         .str("reason", "beyond_candidate_prefix");
   }
+  std::vector<JobId> deferred;
+  deferred.reserve(rest.size());
+  for (const JobView& v : rest) deferred.push_back(v.id);
+  std::sort(deferred.begin(), deferred.end());
+  set_last_deferred(std::move(deferred));
   finish_round(plan, /*contended=*/true);
   return plan;
 }

@@ -93,6 +93,11 @@ struct PlannedGroup {
   // simulator charges a mis-planning penalty proportional to the relative
   // gap (this is how profiling noise degrades performance, Fig. 14).
   Duration planned_period = 0;
+  // The interleaving efficiency γ the scheduler predicted when it formed
+  // this group (1.0 for singletons and schedulers that don't estimate).
+  // Purely observational — placement never reads it. Kept last so the
+  // aggregate-initialized literal groups baselines build stay valid.
+  double predicted_gamma = 1.0;
 };
 
 class Scheduler {
@@ -116,8 +121,21 @@ class Scheduler {
   void set_decision_log(obs::DecisionLog* log) noexcept { decisions_ = log; }
   obs::DecisionLog* decision_log() const noexcept { return decisions_; }
 
+  // Jobs the most recent schedule() explicitly deferred (Muri's beyond-
+  // the-candidate-prefix set), ascending. Observability input for
+  // wait-state attribution; baselines that never defer leave it empty.
+  const std::vector<JobId>& last_deferred() const noexcept {
+    return last_deferred_;
+  }
+
+ protected:
+  void set_last_deferred(std::vector<JobId> jobs) noexcept {
+    last_deferred_ = std::move(jobs);
+  }
+
  private:
   obs::DecisionLog* decisions_ = nullptr;
+  std::vector<JobId> last_deferred_;
 };
 
 // Stable-sorts groups by descending GPU demand — the §5 placement order

@@ -8,6 +8,7 @@
 
 #include "common/build_info.h"
 #include "job/model.h"
+#include "obs/jobtrace.h"
 #include "obs/json.h"
 #include "recovery/wal.h"
 #include "scheduler/baselines.h"
@@ -280,6 +281,10 @@ bool MuriDaemon::start(std::string* error) {
     slo_ = std::make_unique<obs::SloTracker>(options_.slo, &registry_);
   }
   observer_ = std::make_unique<Observer>(*this);
+  if (options_.jobtrace_enabled) {
+    jobtrace_ = std::make_unique<obs::JobTraceLog>();
+    jobtrace_->set_metrics(&registry_);
+  }
 
   EngineOptions eng;
   eng.cluster = options_.cluster;
@@ -288,6 +293,7 @@ bool MuriDaemon::start(std::string* error) {
   eng.durations_known = scheduler_->needs_durations();
   eng.profiler = options_.profiler;
   eng.decisions = &log_;
+  eng.jobtrace = jobtrace_.get();
   eng.observer = observer_.get();
   engine_ = std::make_unique<ServiceEngine>(*scheduler_, eng);
   queue_ = std::make_unique<AdmissionQueue>(options_.queue_capacity);
@@ -336,7 +342,8 @@ bool MuriDaemon::start(std::string* error) {
         .integer("machines", options_.cluster.num_machines)
         .integer("gpus", static_cast<std::int64_t>(
                              options_.cluster.num_machines) *
-                             options_.cluster.gpus_per_machine);
+                             options_.cluster.gpus_per_machine)
+        .num("restart_penalty", options_.restart_penalty_s);
     if (!recovered_.empty()) e.integer("resumed", 1);
   }
   for (const auto& [id, job] : recovered_) {
@@ -648,7 +655,19 @@ bool MuriDaemon::handle(const obs::HttpRequest& req,
   if (path.rfind("/jobs/", 0) == 0) {
     char* end = nullptr;
     const long long id = std::strtoll(path.c_str() + 6, &end, 10);
-    if (end == path.c_str() + 6 || *end != '\0') {
+    if (end == path.c_str() + 6) {
+      json_error(resp, 404, "bad job id");
+      return true;
+    }
+    if (std::string_view(end) == "/timeline") {
+      if (req.method != "GET") {
+        json_error(resp, 405, "use GET on /jobs/<id>/timeline");
+        return true;
+      }
+      handle_timeline(static_cast<JobId>(id), resp);
+      return true;
+    }
+    if (*end != '\0') {
       json_error(resp, 404, "bad job id");
       return true;
     }
@@ -789,6 +808,23 @@ void MuriDaemon::handle_stats(obs::HttpResponse& resp) {
   out += std::isfinite(nf) ? fmt_num(nf) : std::string("null");
   out += ",\"last_advance_t\":" + fmt_num(engine_->last_advance());
   out += "}";
+  out += ",\"wait_buckets\":{\"enabled\":";
+  out += jobtrace_ != nullptr ? "true" : "false";
+  if (jobtrace_ != nullptr) {
+    std::int64_t finished = 0;
+    const std::array<double, obs::kNumSpanKinds> totals =
+        jobtrace_->totals(&finished);
+    out += ",\"finished_jobs\":" + std::to_string(finished);
+    out += ",\"seconds\":{";
+    for (int k = 0; k < obs::kNumSpanKinds; ++k) {
+      if (k > 0) out += ',';
+      out += "\"";
+      out += obs::span_kind_name(static_cast<obs::SpanKind>(k));
+      out += "\":" + fmt_num(totals[static_cast<std::size_t>(k)]);
+    }
+    out += "}";
+  }
+  out += "}";
   out += ",\"slo\":";
   out += slo_ != nullptr ? slo_->json() : std::string("{\"enabled\":false}");
   out += ",\"history\":{\"enabled\":";
@@ -905,6 +941,11 @@ void MuriDaemon::handle_submit(const obs::HttpRequest& req,
     return;
   }
   if (!spec.name.empty()) name_to_id_[spec.name] = submission.id;
+  // Timeline anchor: the HTTP-accept instant, ahead of the event loop
+  // draining the queue into the engine (accept→submit gap = queue wait).
+  if (jobtrace_ != nullptr) {
+    jobtrace_->accepted(submission.id, submission.submit_time);
+  }
   update_gauges();
   loop_cv_.notify_all();
   resp.status = 202;
@@ -965,6 +1006,29 @@ void MuriDaemon::handle_job_get(JobId id, bool explain,
   }
   resp.body =
       "{\"status\":" + status_json + ",\"explain\":" + why + "}\n";
+}
+
+void MuriDaemon::handle_timeline(JobId id, obs::HttpResponse& resp) {
+  if (jobtrace_ == nullptr) {
+    json_error(resp, 404,
+               "job tracing disabled (start the daemon with jobtrace "
+               "enabled)");
+    return;
+  }
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  obs::JobTimeline t;
+  if (!jobtrace_->timeline(id, t)) {
+    // Accepted-but-not-yet-drained jobs have no timeline yet; report them
+    // like any unknown id (the client can poll /jobs/<id> meanwhile).
+    json_error(resp, 404, "no timeline for job " + std::to_string(id));
+    return;
+  }
+  std::string out = "{\"version\":\"" + std::string(build_version()) + "\"";
+  out += ",\"git_sha\":\"" + std::string(build_git_sha()) + "\"";
+  out += ",\"sim_t\":" + fmt_num(sim_now());
+  out += ",\"timeline\":" + obs::timeline_json(t) + "}\n";
+  resp.content_type = "application/json";
+  resp.body = std::move(out);
 }
 
 void MuriDaemon::handle_job_delete(JobId id, obs::HttpResponse& resp) {

@@ -121,6 +121,12 @@ struct DaemonOptions {
   // ... or when jobs are active and no round has run for this factor ×
   // round_interval_s simulated seconds (an overdue round).
   double watchdog_round_factor = 4.0;
+
+  // Per-job causal tracing (src/obs/jobtrace): record every job's span
+  // timeline and serve GET /jobs/<id>/timeline. Follows the obs-off
+  // contract — plans, DecisionLog, and trace bytes are bit-identical with
+  // the plane on or off; disabling only turns the endpoint into a 404.
+  bool jobtrace_enabled = true;
 };
 
 class MuriDaemon {
@@ -192,6 +198,7 @@ class MuriDaemon {
   void handle_job_get(JobId id, bool explain, obs::HttpResponse& resp);
   void handle_job_delete(JobId id, obs::HttpResponse& resp);
   void handle_list(obs::HttpResponse& resp);
+  void handle_timeline(JobId id, obs::HttpResponse& resp);
   void handle_healthz(bool plain, obs::HttpResponse& resp);
   void handle_stats(obs::HttpResponse& resp);
   void handle_history(const std::string& query, obs::HttpResponse& resp);
@@ -211,6 +218,8 @@ class MuriDaemon {
   std::unique_ptr<ServiceEngine> engine_;
   std::unique_ptr<AdmissionQueue> queue_;
   std::unique_ptr<obs::HttpExporter> exporter_;
+  // Per-job span recorder; null when jobtrace_enabled is off.
+  std::unique_ptr<obs::JobTraceLog> jobtrace_;
 
   // Live SLO plane. history_/slo_ are null when their knobs are off;
   // observer_ is always attached (it feeds registry summaries too).

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "job/model.h"
+#include "obs/jobtrace.h"
 #include "obs/provenance.h"
 
 namespace muri::service {
@@ -39,7 +40,12 @@ ServiceEngine::ServiceEngine(Scheduler& scheduler, EngineOptions options)
     : scheduler_(scheduler),
       options_(std::move(options)),
       cluster_(options_.cluster),
-      profiler_(options_.profiler) {}
+      profiler_(options_.profiler) {
+  // The jobtrace gate arithmetic must match rec.ready_at exactly.
+  if (options_.jobtrace != nullptr) {
+    options_.jobtrace->set_restart_penalty(options_.restart_penalty);
+  }
+}
 
 ServiceEngine::JobRecord* ServiceEngine::find(JobId id) {
   const auto it = jobs_.find(id);
@@ -77,6 +83,7 @@ void ServiceEngine::submit(const JobSpec& spec, JobId id, Time now) {
         .integer("iterations", spec.iterations);
     if (!spec.name.empty()) e.str("name", spec.name);
   }
+  if (options_.jobtrace != nullptr) options_.jobtrace->submitted(id, now);
 }
 
 void ServiceEngine::restore(const JobSpec& spec, JobId id, Time original_submit,
@@ -102,6 +109,11 @@ void ServiceEngine::restore(const JobSpec& spec, JobId id, Time original_submit,
         .num("t", now)
         .integer("job", id)
         .num("done", done_iterations);
+  }
+  // The timeline opens at the restore instant: pre-crash spans are gone,
+  // so the job is marked restored and its buckets cover the resumed era.
+  if (options_.jobtrace != nullptr) {
+    options_.jobtrace->submitted(id, now, /*restored=*/true);
   }
 }
 
@@ -130,6 +142,7 @@ bool ServiceEngine::cancel(JobId id, Time now, const char* reason) {
         .integer("job", id)
         .str("reason", reason);
   }
+  if (options_.jobtrace != nullptr) options_.jobtrace->cancelled(id, now);
   return true;
 }
 
@@ -154,6 +167,9 @@ void ServiceEngine::finish_job(JobRecord& rec, Time t) {
         .num("running", rec.running_seconds)
         .num("restart_overhead", rec.restart_overhead_seconds)
         .integer("preemptions", rec.preemptions);
+  }
+  if (options_.jobtrace != nullptr) {
+    options_.jobtrace->finished(rec.job.id, t, t - rec.job.submit_time);
   }
   if (options_.observer != nullptr) {
     options_.observer->on_job_finish(t, t - rec.job.submit_time);
@@ -297,6 +313,12 @@ void ServiceEngine::run_round(Time now) {
   std::vector<Admitted> admitted;
   OwnerId next_owner = 1;
   obs::DecisionLog* decisions = options_.decisions;
+  obs::JobTraceLog* jobtrace = options_.jobtrace;
+  // The decision-log round id this round's jobtrace events carry (the
+  // engine's round ordinal when no log is wired — same convention as the
+  // batch simulator).
+  const std::int64_t round_id =
+      decisions != nullptr ? decisions->current_round() : rounds_;
 
   for (const PlannedGroup& g : plan) {
     if (g.members.empty()) continue;
@@ -353,6 +375,15 @@ void ServiceEngine::run_round(Time now) {
                                                            : "uncoordinated")
           .ints("machines", machine_ids)
           .integer("owner", static_cast<std::int64_t>(owner));
+    }
+    if (jobtrace != nullptr) {
+      const char* mode = g.mode == GroupMode::kExclusive    ? "exclusive"
+                         : g.mode == GroupMode::kInterleaved ? "interleaved"
+                                                             : "uncoordinated";
+      for (JobId id : g.members) {
+        jobtrace->placed(id, now, round_id, g.members, g.predicted_gamma,
+                         mode);
+      }
     }
     GroupKey key;
     key.members = g.members;
@@ -420,6 +451,7 @@ void ServiceEngine::run_round(Time now) {
           .integer("job", id)
           .str("reason", "displaced");
     }
+    if (jobtrace != nullptr) jobtrace->preempted(id, now, round_id);
     rec.phase = JobPhase::kQueued;
     rec.period = 0;
     rec.key = GroupKey{};
@@ -427,6 +459,36 @@ void ServiceEngine::run_round(Time now) {
     ++rec.preemptions;
     --running_;
     mark_dirty(id);
+  }
+
+  // Post-round wait verdicts: classify every job the plan left queued,
+  // identically in the jobtrace events and the decision log's "wait"
+  // record (ids ascending — jobs_ is an ordered map).
+  if (jobtrace != nullptr || decisions != nullptr) {
+    const std::vector<JobId>& deferred = scheduler_.last_deferred();
+    const int capacity = ctx.capacity();
+    std::vector<std::int64_t> wait_ids;
+    std::vector<std::string> wait_buckets;
+    for (const auto& [id, rec] : jobs_) {
+      if (rec.phase != JobPhase::kQueued) continue;
+      const bool was_deferred =
+          std::binary_search(deferred.begin(), deferred.end(), id);
+      const obs::SpanKind bucket =
+          obs::classify_wait(was_deferred, rec.job.num_gpus, capacity);
+      if (jobtrace != nullptr) {
+        jobtrace->wait_verdict(id, now, round_id, bucket);
+      }
+      if (decisions != nullptr) {
+        wait_ids.push_back(id);
+        wait_buckets.emplace_back(obs::span_kind_name(bucket));
+      }
+    }
+    if (decisions != nullptr && !wait_ids.empty()) {
+      decisions->entry("wait")
+          .num("t", now)
+          .ids("job", wait_ids)
+          .strs("bucket", wait_buckets);
+    }
   }
 
   if (observer != nullptr) {

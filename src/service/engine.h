@@ -42,6 +42,7 @@
 
 namespace muri::obs {
 class DecisionLog;
+class JobTraceLog;
 }  // namespace muri::obs
 
 namespace muri::service {
@@ -109,6 +110,9 @@ struct EngineOptions {
   ResourceProfiler::Options profiler{};
   // Decision provenance + durable WAL tap; may be null (no-op).
   obs::DecisionLog* decisions = nullptr;
+  // Per-job causal span recorder (src/obs/jobtrace); may be null (no-op).
+  // Attaching never changes plans, records, or the WAL.
+  obs::JobTraceLog* jobtrace = nullptr;
   // Live SLO plane hook; may be null (no-op).
   EngineObserver* observer = nullptr;
 };

@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/jobtrace.h"
 #include "obs/metrics.h"
 #include "obs/provenance.h"
 #include "obs/trace.h"
@@ -96,6 +97,18 @@ struct RunningGroup {
   int num_gpus = 0;
   std::vector<MachineId> machines;
 };
+
+const char* mode_name(GroupMode m) {
+  switch (m) {
+    case GroupMode::kExclusive:
+      return "exclusive";
+    case GroupMode::kInterleaved:
+      return "interleaved";
+    case GroupMode::kUncoordinated:
+      return "uncoordinated";
+  }
+  return "uncoordinated";
+}
 
 }  // namespace
 
@@ -262,6 +275,20 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
   if (decisions != nullptr && scheduler.decision_log() == nullptr) {
     scheduler.set_decision_log(decisions);
   }
+  // Per-job causal span recorder. Its events mirror what the decision log
+  // already captures (plus the "wait"/"straggler" records written below
+  // when a log is attached), so attaching it never changes SimResult, the
+  // log, or the trace.
+  obs::JobTraceLog* const jobtrace = options.jobtrace;
+  if (jobtrace != nullptr) {
+    jobtrace->set_restart_penalty(options.restart_penalty);
+    if (options.metrics != nullptr) jobtrace->set_metrics(options.metrics);
+  }
+  // The decision-log round id of the most recent scheduling round (the
+  // scheduler-invocation ordinal when no log is wired — same convention
+  // as the tracer's "round" arg), stamped on jobtrace events that happen
+  // between rounds (evictions, faults, degraded continuations).
+  std::int64_t cur_round_id = 0;
   // Several runs may share one tracer (bench tables); the epoch separates
   // their overlapping sim-time windows and reused job/group ids for the
   // analysis layer.
@@ -569,6 +596,13 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         end_run_span(s);
         s.straggler_factor = f;
         begin_run_span(s, m);
+        if (decisions != nullptr) {
+          decisions->entry("straggler")
+              .num("t", now)
+              .integer("job", id)
+              .num("factor", f);
+        }
+        if (jobtrace != nullptr) jobtrace->straggler(id, now, f);
       }
     }
   };
@@ -653,7 +687,14 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       decisions->entry("degraded_continue")
           .num("t", now)
           .ids("jobs", g.members)
-          .num("gamma", gamma_pred);
+          .num("gamma", gamma_pred)
+          .str("mode", mode_name(g.mode));
+    }
+    if (jobtrace != nullptr) {
+      for (JobId id : g.members) {
+        jobtrace->degraded_continue(id, now, cur_round_id, g.members,
+                                    gamma_pred, mode_name(g.mode));
+      }
     }
   };
 
@@ -737,6 +778,12 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                              : "uncoordinated")
             .ints("machines", machine_ids)
             .integer("owner", static_cast<std::int64_t>(owner));
+      }
+      if (jobtrace != nullptr) {
+        for (JobId id : g.members) {
+          jobtrace->placed(id, now, cur_round_id, g.members,
+                           g.predicted_gamma, mode_name(g.mode));
+        }
       }
       running_groups.emplace(owner, std::move(rg));
 
@@ -852,6 +899,18 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
           // window.
           end_run_span(s);
         }
+        if (strag != s.straggler_factor) {
+          // The factor a placement realizes differs from the job's last
+          // known one (first placement onto a straggling machine, or an
+          // unchanged group whose machines drifted between rounds).
+          if (decisions != nullptr) {
+            decisions->entry("straggler")
+                .num("t", now)
+                .integer("job", id)
+                .num("factor", strag);
+          }
+          if (jobtrace != nullptr) jobtrace->straggler(id, now, strag);
+        }
         s.period = periods[i];
         s.owner = owner;
         s.straggler_factor = strag;
@@ -874,6 +933,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
               .num("t", now)
               .integer("job", s.job->id)
               .str("reason", "displaced");
+        }
+        if (jobtrace != nullptr) {
+          jobtrace->preempted(s.job->id, now, cur_round_id);
         }
         end_run_span(s);
         s.running = false;
@@ -903,7 +965,8 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
         .integer("jobs", static_cast<std::int64_t>(n))
         .integer("machines", options.cluster.num_machines)
         .integer("gpus", cluster.total_gpus())
-        .num("interval", options.schedule_interval);
+        .num("interval", options.schedule_interval)
+        .num("restart_penalty", options.restart_penalty);
   }
   int stall_rounds = 0;
   observe_metrics();
@@ -959,6 +1022,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
             .integer("job", s.job->id)
             .integer("gpus", s.job->num_gpus);
       }
+      if (jobtrace != nullptr) jobtrace->submitted(s.job->id, now);
       dirty = true;
       dirty_jobs.push_back(s.job->id);
       ++next_arrival;
@@ -1012,6 +1076,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                         .integer("job", id)
                         .integer("machine", static_cast<std::int64_t>(e.machine))
                         .str("reason", "machine_down");
+                  }
+                  if (jobtrace != nullptr) {
+                    jobtrace->faulted(id, now, cur_round_id);
                   }
                   end_run_span(s);
                   s.running = false;
@@ -1105,6 +1172,7 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
                 .integer("job", dead)
                 .str("reason", "job_fault");
           }
+          if (jobtrace != nullptr) jobtrace->faulted(dead, now, cur_round_id);
           end_run_span(s);
           s.running = false;
           s.period = 0;
@@ -1185,6 +1253,9 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
               .num("restart_overhead", breakdown.restart_overhead_seconds)
               .integer("preemptions", breakdown.preemptions);
         }
+        if (jobtrace != nullptr) {
+          jobtrace->finished(s.job->id, now, breakdown.jct_seconds);
+        }
         result.jct_breakdown.push_back(breakdown);
         dirty = true;
         dirty_jobs.push_back(s.job->id);
@@ -1235,18 +1306,17 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
               .count();
       ++result.scheduler_invocations;
 
-      if (tracer != nullptr) {
-        // The "round" arg is the cross-link into the decision log (and
-        // equals the scheduler-invocation ordinal when no log is wired,
-        // so the trace is byte-identical either way for the same run).
-        const std::int64_t round_id = decisions != nullptr
-                                          ? decisions->current_round()
+      // The round id cross-links into the decision log (and equals the
+      // scheduler-invocation ordinal when no log is wired, so trace and
+      // jobtrace are byte-identical either way for the same run).
+      cur_round_id = decisions != nullptr ? decisions->current_round()
                                           : result.scheduler_invocations;
+      if (tracer != nullptr) {
         tracer->instant_at(
             to_us(now), "round", "sched", obs::kSchedulerTrack, 0,
             obs::TraceArgs("queue", static_cast<double>(queue.size()),
                            "groups", static_cast<double>(plan.size()), "round",
-                           static_cast<double>(round_id)));
+                           static_cast<double>(cur_round_id)));
       }
 
       // Clear before apply_plan: the displacements it records belong to
@@ -1254,6 +1324,36 @@ SimResult run_simulation(const Trace& trace, Scheduler& scheduler,
       dirty_jobs.clear();
       apply_plan(plan);
       last_round = now;
+
+      // Post-round wait verdicts: classify every job the plan left
+      // waiting, identically in the jobtrace events and the decision
+      // log's "wait" record (ids ascending — states is id-ordered).
+      if (jobtrace != nullptr || decisions != nullptr) {
+        const std::vector<JobId>& deferred = scheduler.last_deferred();
+        const int capacity = ctx.capacity();
+        std::vector<std::int64_t> wait_ids;
+        std::vector<std::string> wait_buckets;
+        for (const JobState& s : states) {
+          if (!s.arrived || s.finished || s.running) continue;
+          const bool was_deferred = std::binary_search(
+              deferred.begin(), deferred.end(), s.job->id);
+          const obs::SpanKind bucket =
+              obs::classify_wait(was_deferred, s.job->num_gpus, capacity);
+          if (jobtrace != nullptr) {
+            jobtrace->wait_verdict(s.job->id, now, cur_round_id, bucket);
+          }
+          if (decisions != nullptr) {
+            wait_ids.push_back(s.job->id);
+            wait_buckets.emplace_back(obs::span_kind_name(bucket));
+          }
+        }
+        if (decisions != nullptr && !wait_ids.empty()) {
+          decisions->entry("wait")
+              .num("t", now)
+              .ids("job", wait_ids)
+              .strs("bucket", wait_buckets);
+        }
+      }
       // Keep rounds firing while jobs wait: time-varying priorities
       // (attained service, fairness deficits) must be able to preempt.
       bool any_waiting = false;

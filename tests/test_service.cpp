@@ -9,10 +9,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/jobtrace.h"
 #include "obs/json.h"
 #include "obs/jobs_report.h"
 #include "obs/provenance.h"
@@ -654,6 +656,139 @@ TEST(ServiceDaemon, LivePlaneOffIsBitIdenticalToPlaneOn) {
   EXPECT_EQ(plain.decisions_jsonl(), instrumented.decisions_jsonl());
   plain.stop();
   instrumented.stop();
+}
+
+TEST(ServiceDaemon, TimelineEndpointServesAttributedSpans) {
+  MuriDaemon daemon(manual_options());
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  const JobId a = submit(daemon, "resnet18", 2, 400, "a");
+  submit(daemon, "vgg19", 1, 300, "b");
+  ASSERT_EQ(run_to_completion(daemon, a), "finished");
+
+  const auto resp = get(daemon, "/jobs/" + std::to_string(a) + "/timeline");
+  ASSERT_EQ(resp.status, 200) << resp.body;
+  EXPECT_EQ(resp.header("content-type"), "application/json");
+  const auto json = parse(resp.body);
+  EXPECT_TRUE(json.at("version").is_string());
+  EXPECT_TRUE(json.at("git_sha").is_string());
+  const obs::JsonValue& t = json.at("timeline");
+  ASSERT_TRUE(t.is_object()) << resp.body;
+  EXPECT_TRUE(t.at("finished").boolean);
+  EXPECT_TRUE(t.at("valid").boolean) << resp.body;
+  // HTTP accept precedes the engine submit; both are reported.
+  EXPECT_TRUE(t.at("accept").is_number());
+  // The buckets partition [submit, finish]: they must sum to the JCT.
+  double sum = 0;
+  for (const auto& [name, v] : t.at("buckets").object) sum += v.number;
+  EXPECT_NEAR(sum, t.at("jct").number, 1e-6) << resp.body;
+  EXPECT_NEAR(t.at("reported_jct").number, t.at("jct").number, 1e-6);
+  ASSERT_FALSE(t.at("spans").array.empty());
+  // Every span's rounds must exist in the daemon's decision log — the
+  // same numbering explain-job reports.
+  std::vector<obs::DecisionRecord> records;
+  ASSERT_TRUE(obs::parse_decision_log(daemon.decisions_jsonl(), records));
+  std::set<std::int64_t> known_rounds;
+  for (const auto& r : records) {
+    known_rounds.insert(static_cast<std::int64_t>(r.value.at("round").number));
+  }
+  for (const obs::JsonValue& span : t.at("spans").array) {
+    for (const obs::JsonValue& round : span.at("rounds").array) {
+      EXPECT_TRUE(known_rounds.count(static_cast<std::int64_t>(round.number)))
+          << resp.body;
+    }
+  }
+  // The same spans fold back out of the decision log.
+  obs::JobTraceLog fold;
+  obs::build_job_traces(records, fold);
+  obs::JobTimeline folded;
+  ASSERT_TRUE(fold.timeline(a, folded));
+  EXPECT_EQ(obs::validate_timeline(folded), "");
+  EXPECT_NEAR(folded.total_seconds(), t.at("jct").number, 1e-6);
+
+  // Unknown jobs and bad suffixes 404.
+  EXPECT_EQ(get(daemon, "/jobs/999/timeline").status, 404);
+  EXPECT_EQ(get(daemon, "/jobs/" + std::to_string(a) + "/nope").status, 404);
+  // /stats aggregates the same buckets.
+  const auto stats = parse(get(daemon, "/stats").body);
+  ASSERT_TRUE(stats.at("wait_buckets").is_object());
+  EXPECT_TRUE(stats.at("wait_buckets").at("enabled").boolean);
+  EXPECT_GE(stats.at("wait_buckets").at("finished_jobs").number, 1);
+  EXPECT_TRUE(stats.at("wait_buckets").at("seconds").at("run").is_number());
+  daemon.stop();
+}
+
+TEST(ServiceDaemon, JobTraceOffIsBitIdenticalAndTimeline404s) {
+  // The obs-off contract for the per-job plane: a daemon with tracing
+  // disabled produces byte-identical decisions for the same drive; the
+  // only visible difference is the endpoint answering 404.
+  auto drive = [](MuriDaemon& daemon) {
+    std::string error;
+    ASSERT_TRUE(daemon.start(&error)) << error;
+    submit(daemon, "resnet18", 2, 400, "a");
+    submit(daemon, "vgg19", 1, 300, "b");
+    for (int i = 0; i < 40; ++i) daemon.step(60);
+  };
+  MuriDaemon traced(manual_options());
+  drive(traced);
+  DaemonOptions options = manual_options();
+  options.jobtrace_enabled = false;
+  MuriDaemon bare(std::move(options));
+  drive(bare);
+
+  EXPECT_EQ(traced.decisions_jsonl(), bare.decisions_jsonl());
+  EXPECT_EQ(get(traced, "/jobs/0/timeline").status, 200);
+  const auto off = get(bare, "/jobs/0/timeline");
+  EXPECT_EQ(off.status, 404);
+  EXPECT_EQ(off.header("content-type"), "application/json");
+  const auto stats = parse(get(bare, "/stats").body);
+  EXPECT_FALSE(stats.at("wait_buckets").at("enabled").boolean);
+  traced.stop();
+  bare.stop();
+}
+
+TEST(ServiceDaemon, EveryJsonEndpointDeclaresItsContentType) {
+  DaemonOptions options = manual_options();
+  options.sample_interval_s = 0.25;  // so /metrics/history answers 200
+  MuriDaemon daemon(std::move(options));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  const JobId id = submit(daemon, "resnet18", 1, 200, "a");
+  daemon.step(0);
+
+  const auto expect_json = [&](const ClientResponse& resp,
+                               const std::string& what) {
+    EXPECT_EQ(resp.header("content-type"), "application/json")
+        << what << ": " << resp.body;
+    obs::JsonValue v;
+    std::string parse_error;
+    EXPECT_TRUE(obs::parse_json(resp.body, v, &parse_error))
+        << what << ": " << parse_error;
+  };
+  expect_json(get(daemon, "/healthz"), "/healthz");
+  expect_json(get(daemon, "/stats"), "/stats");
+  expect_json(get(daemon, "/metrics.json"), "/metrics.json");
+  expect_json(get(daemon, "/metrics/history"), "/metrics/history");
+  expect_json(get(daemon, "/jobs"), "/jobs");
+  expect_json(get(daemon, "/jobs/" + std::to_string(id)), "/jobs/<id>");
+  expect_json(get(daemon, "/jobs/" + std::to_string(id) + "?explain=1"),
+              "/jobs/<id>?explain=1");
+  expect_json(get(daemon, "/jobs/" + std::to_string(id) + "/timeline"),
+              "timeline");
+  expect_json(post_json(daemon, "/jobs", "{\"model\":\"resnet18\","
+                                         "\"gpus\":1,\"iterations\":100}"),
+              "POST /jobs");
+  // Error bodies are JSON too, whatever the status.
+  expect_json(get(daemon, "/jobs/12345"), "404 unknown job");
+  expect_json(get(daemon, "/jobs/xyz"), "404 bad id");
+  expect_json(post_json(daemon, "/jobs", "{}"), "400 malformed");
+  // Non-JSON endpoints keep their own types.
+  EXPECT_EQ(get(daemon, "/decisions").header("content-type"),
+            "application/x-ndjson");
+  const std::string metrics_type = get(daemon, "/metrics").header(
+      "content-type");
+  EXPECT_NE(metrics_type.find("text/plain"), std::string::npos);
+  daemon.stop();
 }
 
 }  // namespace

@@ -17,16 +17,20 @@ ratio alone would cry wolf; a point regresses only when it exceeds the
 threshold AND slows down by at least --min-delta-ms in absolute terms.
 
     diff_bench.py [--threshold=0.20] [--min-delta-ms=0.25] \
-        [--key=round_seconds] baseline.json current.json
+        [--key=round_seconds] [--strict] baseline.json current.json
 
 Exit status: 0 clean, 1 regression / missing or unreadable baseline /
 malformed input, 2 when the two files share no sweep points (wrong
 baseline checked in). A point missing the compared metric is only a
 warning — the point is skipped and the rest still gate — because an
 older baseline predating a new metric must not mask regressions in the
-metrics it does have. A missing *file* is never soft: in CI that means
-the baseline was not checked in (or the bench never wrote its output),
-and silently passing would disable the gate entirely.
+metrics it does have. With --strict that leniency is off: a point
+lacking the metric is a hard failure (exit 1), for per-PR gates where
+baseline and bench were built from the same tree and a missing metric
+means the instrumentation silently vanished. A missing *file* is never
+soft: in CI that means the baseline was not checked in (or the bench
+never wrote its output), and silently passing would disable the gate
+entirely.
 """
 
 import argparse
@@ -35,7 +39,7 @@ import statistics
 import sys
 
 
-def load_points(path, key):
+def load_points(path, key, strict=False):
     with open(path) as f:
         doc = json.load(f)
     points = {}
@@ -43,6 +47,9 @@ def load_points(path, key):
         ident = (p["config"], p["jobs"], p["threads"])
         value = p.get(key)
         if value is None:
+            if strict:
+                raise ValueError(
+                    f"{path}: point {ident} lacks {key!r} (--strict)")
             print(f"diff_bench: warning: {path}: point {ident} lacks "
                   f"{key!r}; skipped", file=sys.stderr)
             continue
@@ -65,10 +72,13 @@ def main():
                              "milliseconds (default 0.25)")
     parser.add_argument("--key", default="round_seconds",
                         help="sweep field to compare (default round_seconds)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail (exit 1) on points missing the compared "
+                             "metric instead of skipping them")
     args = parser.parse_args()
 
     try:
-        base = load_points(args.baseline, args.key)
+        base = load_points(args.baseline, args.key, args.strict)
     except OSError as e:
         print(f"diff_bench: baseline missing or unreadable: {e}\n"
               f"diff_bench: commit a baseline at {args.baseline} "
@@ -78,7 +88,7 @@ def main():
         print(f"diff_bench: malformed baseline: {e}", file=sys.stderr)
         return 1
     try:
-        cur = load_points(args.current, args.key)
+        cur = load_points(args.current, args.key, args.strict)
     except (OSError, ValueError, KeyError) as e:
         print(f"diff_bench: cannot read current sweep: {e}", file=sys.stderr)
         return 1

@@ -23,6 +23,7 @@
 #include <string>
 #include <thread>
 
+#include "common/build_info.h"
 #include "service/daemon.h"
 
 namespace {
@@ -50,6 +51,9 @@ void usage(std::FILE* out) {
       "                        queue; default 0 = unbounded)\n"
       "  --fsync=MODE          none|interval|every (default interval)\n"
       "  --crash-env           honor MURI_CRASH_AT/_TORN (CI crash legs)\n"
+      "  --no-jobtrace         disable per-job span timelines "
+      "(/jobs/<id>/timeline 404s)\n"
+      "  --version             print version and exit\n"
       "live SLO & health plane (DESIGN.md):\n"
       "  --sample-interval=S   wall seconds between /metrics/history "
       "samples\n"
@@ -93,6 +97,12 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       usage(stdout);
       return 0;
+    } else if (arg == "--version") {
+      std::printf("muri-daemon %s (%s)\n", muri::build_version(),
+                  muri::build_git_sha());
+      return 0;
+    } else if (arg == "--no-jobtrace") {
+      options.jobtrace_enabled = false;
     } else if (arg.rfind("--port=", 0) == 0 &&
                parse_int(arg.c_str() + 7, n)) {
       options.http_port = static_cast<int>(n);

@@ -44,6 +44,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/stats.h"
 #include "job/model.h"
 #include "job/trace.h"
@@ -344,6 +345,10 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
       usage(stdout);
+      return 0;
+    } else if (arg == "--version") {
+      std::printf("muri-loadgen %s (%s)\n", muri::build_version(),
+                  muri::build_git_sha());
       return 0;
     } else if (arg.rfind("--port=", 0) == 0) {
       opts.port = std::atoi(arg.c_str() + 7);

@@ -30,6 +30,16 @@
 //   muri-report jobs daemon.wal                   # table + percentiles
 //   muri-report jobs --format=csv decisions.jsonl
 //
+// The timeline subcommand folds a decision stream (WAL or JSONL) through
+// the per-job span recorder (src/obs/jobtrace) and renders one waterfall
+// per job: submit → round wait verdicts → placement/restart → preempt/
+// evict/straggler/degraded windows → finish, with the wait buckets that
+// sum to the realized JCT. Output is byte-stable for a fixed input.
+//
+//   muri-report timeline 42 daemon.wal            # one job's waterfall
+//   muri-report timeline all --format=csv decisions.jsonl
+//   muri-report timeline all --format=chrome --out=spans.json run.jsonl
+//
 // The slo subcommand renders an offline SLO violation summary — the
 // batch twin of the daemon's live GET /stats gate. Input is either a
 // decision stream (WAL or JSONL: wait/JCT percentiles from the job
@@ -58,8 +68,10 @@
 #include <string_view>
 #include <vector>
 
+#include "common/build_info.h"
 #include "common/stats.h"
 #include "obs/analysis.h"
+#include "obs/jobtrace.h"
 #include "obs/jobs_report.h"
 #include "obs/json.h"
 #include "obs/provenance.h"
@@ -69,7 +81,7 @@
 
 namespace {
 
-enum class Format { kText, kCsv, kJson };
+enum class Format { kText, kCsv, kJson, kChrome };
 
 enum class Mode {
   kTraceReport,
@@ -78,12 +90,14 @@ enum class Mode {
   kReplay,
   kJobs,
   kSlo,
+  kTimeline,
 };
 
 struct Options {
   Format format = Format::kText;
   Mode mode = Mode::kTraceReport;
   std::int64_t explain_id = 0;  // job id or round number
+  bool timeline_all = false;    // timeline all vs. one job
   std::string out_path;
   std::vector<std::string> traces;  // trace files, or the decisions file
   // slo subcommand thresholds; < 0 = render only, no verdict.
@@ -104,6 +118,9 @@ void usage(std::ostream& os) {
         "       muri-report replay [--format=text|json] [--out=FILE] "
         "WAL-or-DECISIONS-file\n"
         "       muri-report jobs [--format=text|csv|json] [--out=FILE] "
+        "WAL-or-DECISIONS-file\n"
+        "       muri-report timeline JOB|all "
+        "[--format=text|csv|json|chrome] [--out=FILE] "
         "WAL-or-DECISIONS-file\n"
         "       muri-report slo [--format=text|json] [--out=FILE]\n"
         "                   [--wait-p99=S] [--jct-p99=S] [--round-p99=S]\n"
@@ -133,6 +150,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
     if (arg == "--help" || arg == "-h") {
       usage(std::cout);
       std::exit(0);
+    } else if (arg == "--version") {
+      std::cout << "muri-report " << muri::build_version() << " ("
+                << muri::build_git_sha() << ")\n";
+      std::exit(0);
     } else if (arg.rfind("--format=", 0) == 0) {
       const std::string_view value = arg.substr(9);
       if (value == "text") {
@@ -141,6 +162,8 @@ bool parse_args(int argc, char** argv, Options& opts) {
         opts.format = Format::kCsv;
       } else if (value == "json") {
         opts.format = Format::kJson;
+      } else if (value == "chrome") {
+        opts.format = Format::kChrome;
       } else {
         std::cerr << "muri-report: unknown format '" << value << "'\n";
         return false;
@@ -193,6 +216,26 @@ bool parse_args(int argc, char** argv, Options& opts) {
       return false;
     }
   }
+  // The timeline subcommand claims a job id (or "all") plus the input.
+  if (!positional.empty() && positional[0] == "timeline") {
+    opts.mode = Mode::kTimeline;
+    if (positional.size() < 2) {
+      std::cerr << "muri-report: timeline needs a job id or 'all'\n";
+      return false;
+    }
+    if (positional[1] == "all") {
+      opts.timeline_all = true;
+    } else if (!parse_int64(positional[1], opts.explain_id)) {
+      std::cerr << "muri-report: timeline needs a job id or 'all'\n";
+      return false;
+    }
+    positional.erase(positional.begin(), positional.begin() + 2);
+    if (positional.size() != 1) {
+      std::cerr << "muri-report: timeline takes exactly one WAL or "
+                   "DECISIONS.jsonl file\n";
+      return false;
+    }
+  }
   // The jobs subcommand has the replay input contract (WAL or JSONL).
   if (!positional.empty() && positional[0] == "jobs") {
     opts.mode = Mode::kJobs;
@@ -230,6 +273,10 @@ bool parse_args(int argc, char** argv, Options& opts) {
   for (const std::string_view p : positional) opts.traces.emplace_back(p);
   if (opts.traces.empty()) {
     usage(std::cerr);
+    return false;
+  }
+  if (opts.format == Format::kChrome && opts.mode != Mode::kTimeline) {
+    std::cerr << "muri-report: --format=chrome is timeline-only\n";
     return false;
   }
   return true;
@@ -367,15 +414,17 @@ int run_replay(const Options& opts) {
   return emit_output(opts, output) ? 0 : 1;
 }
 
-int run_jobs(const Options& opts) {
-  const std::string& path = opts.traces.front();
+// Reads a decision stream — a durable WAL (re-joined into JSONL; record
+// frames only, snapshots carry folded state, not job events) or a plain
+// JSONL dump — into parsed records. Returns 0, or 1 after reporting an
+// IO/parse error on stderr; torn tails warn and keep the valid prefix.
+int read_decision_stream(const std::string& path,
+                         std::vector<muri::obs::DecisionRecord>& records) {
   std::string text;
   if (!read_file(path, text)) {
     std::cerr << "muri-report: cannot read " << path << '\n';
     return 1;
   }
-  // A WAL is re-joined into JSONL (record frames only; snapshots carry
-  // folded state, not job events); a plain dump is used as-is.
   if (muri::recovery::looks_like_wal(text)) {
     muri::recovery::WalReadResult decoded;
     std::string error;
@@ -397,7 +446,6 @@ int run_jobs(const Options& opts) {
   }
   std::string error;
   std::string tail_warning;
-  std::vector<muri::obs::DecisionRecord> records;
   if (!muri::obs::parse_decision_log(text, records, &error, &tail_warning)) {
     std::cerr << "muri-report: " << path << ": " << error << '\n';
     return 1;
@@ -405,6 +453,15 @@ int run_jobs(const Options& opts) {
   if (!tail_warning.empty()) {
     std::cerr << "muri-report: " << path << ": warning: " << tail_warning
               << '\n';
+  }
+  return 0;
+}
+
+int run_jobs(const Options& opts) {
+  const std::string& path = opts.traces.front();
+  std::vector<muri::obs::DecisionRecord> records;
+  if (const int rc = read_decision_stream(path, records); rc != 0) {
+    return rc;
   }
   const muri::obs::JobsReport report = muri::obs::build_jobs_report(records);
   if (report.empty()) {
@@ -421,6 +478,69 @@ int run_jobs(const Options& opts) {
       break;
     case Format::kJson:
       output = muri::obs::jobs_report_json(report);
+      break;
+    case Format::kChrome:
+      break;  // rejected in parse_args
+  }
+  return emit_output(opts, output) ? 0 : 1;
+}
+
+int run_timeline(const Options& opts) {
+  const std::string& path = opts.traces.front();
+  std::vector<muri::obs::DecisionRecord> records;
+  if (const int rc = read_decision_stream(path, records); rc != 0) {
+    return rc;
+  }
+  muri::obs::JobTraceLog log;
+  muri::obs::build_job_traces(records, log);
+  std::vector<muri::obs::JobTimeline> timelines;
+  if (opts.timeline_all) {
+    timelines = log.timelines();
+  } else {
+    muri::obs::JobTimeline t;
+    if (log.timeline(opts.explain_id, t)) timelines.push_back(std::move(t));
+  }
+  if (timelines.empty()) {
+    if (opts.timeline_all) {
+      std::cerr << "muri-report: no job records in " << path << '\n';
+    } else {
+      std::cerr << "muri-report: no record of job " << opts.explain_id
+                << " in " << path << '\n';
+    }
+    return 2;
+  }
+  // Self-check: every finished, fully-observed timeline must satisfy the
+  // attribution invariant (spans contiguous, buckets sum to the reported
+  // JCT) — a violation means the log and the recorder disagree.
+  for (const muri::obs::JobTimeline& t : timelines) {
+    if (!t.finished || t.restored) continue;
+    const std::string invariant = muri::obs::validate_timeline(t);
+    if (!invariant.empty()) {
+      std::cerr << "muri-report: job " << t.job
+                << ": timeline invariant violated: " << invariant << '\n';
+      return 1;
+    }
+  }
+  std::string output;
+  switch (opts.format) {
+    case Format::kText:
+      for (const muri::obs::JobTimeline& t : timelines) {
+        if (!output.empty()) output += '\n';
+        output += muri::obs::timeline_text(t);
+      }
+      break;
+    case Format::kCsv:
+      output = muri::obs::timeline_csv(timelines);
+      break;
+    case Format::kJson:
+      output = opts.timeline_all
+                   ? muri::obs::timelines_json(timelines)
+                   : muri::obs::timeline_json(timelines.front());
+      output += '\n';
+      break;
+    case Format::kChrome:
+      output = muri::obs::chrome_trace_json(timelines);
+      output += '\n';
       break;
   }
   return emit_output(opts, output) ? 0 : 1;
@@ -616,6 +736,7 @@ int main(int argc, char** argv) {
   if (opts.mode == Mode::kReplay) return run_replay(opts);
   if (opts.mode == Mode::kJobs) return run_jobs(opts);
   if (opts.mode == Mode::kSlo) return run_slo(opts);
+  if (opts.mode == Mode::kTimeline) return run_timeline(opts);
   if (opts.mode != Mode::kTraceReport) return run_explain(opts);
 
   std::string output;
@@ -663,6 +784,8 @@ int main(int argc, char** argv) {
         output += muri::obs::report_json(report);
         output += '}';
         break;
+      case Format::kChrome:
+        break;  // rejected in parse_args
     }
     first = false;
   }
